@@ -1,0 +1,84 @@
+// Ablation over the work-exposure policies (DESIGN.md): the same
+// fork-join workload under the base Signal, Conservative Exposure and
+// Expose Half schedulers, reporting wall-clock time together with the
+// exposure/steal/fence counters that explain it (Section 5.4's analysis).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "sched/scheduler.h"
+
+namespace {
+
+// The probe workload: fib with a moderate sequential cutoff, giving a deep
+// fork tree with mixed task sizes.
+template <typename Sched>
+std::uint64_t fib(Sched& sched, unsigned n) {
+  if (n < 2) return n;
+  if (n < 14) {
+    std::uint64_t a = 0, b = 1;
+    for (unsigned i = 1; i < n; ++i) {
+      const std::uint64_t c = a + b;
+      a = b;
+      b = c;
+    }
+    return b;
+  }
+  std::uint64_t left = 0, right = 0;
+  sched.pardo([&] { left = fib(sched, n - 1); },
+              [&] { right = fib(sched, n - 2); });
+  return left + right;
+}
+
+template <typename Sched>
+void run_policy(benchmark::State& state) {
+  Sched sched(4);
+  const unsigned n = 27;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.run([&] { return fib(sched, n); }));
+  }
+  const auto totals = sched.profile().totals;
+  const auto it = static_cast<double>(state.iterations());
+  state.counters["exposures"] =
+      benchmark::Counter(static_cast<double>(totals.exposures) / it);
+  state.counters["steals"] =
+      benchmark::Counter(static_cast<double>(totals.steals) / it);
+  state.counters["fences"] =
+      benchmark::Counter(static_cast<double>(totals.fences) / it);
+  state.counters["signals"] =
+      benchmark::Counter(static_cast<double>(totals.signals_sent) / it);
+  state.counters["unstolen_frac"] = benchmark::Counter(
+      totals.exposures == 0
+          ? 0.0
+          : static_cast<double>(totals.pops_public) /
+                static_cast<double>(totals.exposures));
+}
+
+void BM_ExposureWs(benchmark::State& state) {
+  run_policy<lcws::ws_scheduler>(state);
+}
+BENCHMARK(BM_ExposureWs)->Unit(benchmark::kMillisecond);
+
+void BM_ExposureUslcws(benchmark::State& state) {
+  run_policy<lcws::uslcws_scheduler>(state);
+}
+BENCHMARK(BM_ExposureUslcws)->Unit(benchmark::kMillisecond);
+
+void BM_ExposureSignal(benchmark::State& state) {
+  run_policy<lcws::signal_scheduler>(state);
+}
+BENCHMARK(BM_ExposureSignal)->Unit(benchmark::kMillisecond);
+
+void BM_ExposureConservative(benchmark::State& state) {
+  run_policy<lcws::conservative_scheduler>(state);
+}
+BENCHMARK(BM_ExposureConservative)->Unit(benchmark::kMillisecond);
+
+void BM_ExposureHalf(benchmark::State& state) {
+  run_policy<lcws::expose_half_scheduler>(state);
+}
+BENCHMARK(BM_ExposureHalf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

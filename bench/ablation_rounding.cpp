@@ -1,0 +1,71 @@
+// Ablation for the Section 4.1.2 implementation detail: computing
+// round(r/2) in the Expose Half handler. The paper reports that std::round
+// slowed the variant down by an order of magnitude and picked a Lua-style
+// magic-number conversion (double2int); integer division is the middle
+// ground.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "deque/split_deque.h"
+#include "support/rng.h"
+
+namespace {
+
+constexpr int kBatch = 1024;
+
+std::uint64_t* values() {
+  static std::uint64_t v[kBatch];
+  static bool init = [] {
+    lcws::xoshiro256 rng(7);
+    for (auto& x : v) x = 3 + rng.bounded(1000);
+    return true;
+  }();
+  (void)init;
+  return v;
+}
+
+void BM_StdRound(benchmark::State& state) {
+  const auto* v = values();
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      sum += static_cast<std::int64_t>(
+          std::round(static_cast<double>(v[i]) / 2.0));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_StdRound);
+
+void BM_IntegerDivision(benchmark::State& state) {
+  const auto* v = values();
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      sum += static_cast<std::int64_t>((v[i] + 1) / 2);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_IntegerDivision);
+
+void BM_Double2Int(benchmark::State& state) {
+  const auto* v = values();
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      sum += lcws::double2int(static_cast<double>(v[i]) / 2.0);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_Double2Int);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Ablation over the sorting backends of the toolkit: D&C merge sort
+// (parallel/sort.h), sample sort (parallel/sample_sort.h), LSD radix
+// (parallel/integer_sort.h) and sequential std::sort, under the signal
+// LCWS scheduler — the kind of substrate choice that shifts the paper's
+// per-benchmark constants without changing who wins.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/integer_sort.h"
+#include "parallel/sample_sort.h"
+#include "parallel/sort.h"
+#include "sched/scheduler.h"
+#include "support/rng.h"
+
+namespace {
+
+constexpr std::size_t kN = 1 << 20;
+
+const std::vector<std::uint64_t>& input() {
+  static const std::vector<std::uint64_t> v = [] {
+    std::vector<std::uint64_t> data(kN);
+    lcws::xoshiro256 rng(99);
+    for (auto& x : data) x = rng() & ((std::uint64_t{1} << 32) - 1);
+    return data;
+  }();
+  return v;
+}
+
+void BM_StdSort(benchmark::State& state) {
+  for (auto _ : state) {
+    auto v = input();
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_StdSort)->Unit(benchmark::kMillisecond);
+
+void BM_MergeSort(benchmark::State& state) {
+  lcws::signal_scheduler sched(4);
+  for (auto _ : state) {
+    auto v = input();
+    sched.run([&] { lcws::par::sort(sched, v); });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_MergeSort)->Unit(benchmark::kMillisecond);
+
+void BM_SampleSort(benchmark::State& state) {
+  lcws::signal_scheduler sched(4);
+  for (auto _ : state) {
+    auto v = input();
+    sched.run([&] { lcws::par::sample_sort(sched, v); });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SampleSort)->Unit(benchmark::kMillisecond);
+
+void BM_RadixSort(benchmark::State& state) {
+  lcws::signal_scheduler sched(4);
+  for (auto _ : state) {
+    auto v = input();
+    sched.run([&] { lcws::par::integer_sort(sched, v, 32); });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_RadixSort)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces Figure 3 (paper Section 3.3): profile of USLCWS against WS,
+// varying the number of processors, over all benchmark configurations.
+//   3a  USLCWS memory fences / WS memory fences
+//   3b  USLCWS CAS / WS CAS
+//   3c  successful steals USLCWS / successful steals WS
+//   3d  % of exposed work that is not stolen in USLCWS
+// Each panel is a box plot over all benchmark configurations.
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Figure 3", "USLCWS profile vs WS (box over all configs)");
+  const auto procs = env_procs({2, 4, 8});
+  const auto cells = sweep({sched_kind::ws, sched_kind::uslcws}, procs);
+  const sweep_index index(cells);
+
+  std::printf("-- 3a: USLCWS memory fences / WS memory fences --\n");
+  for (const auto p : procs) {
+    print_box_row(p, box_of(counter_ratios(
+                         cells, index, sched_kind::uslcws, sched_kind::ws, p,
+                         [](const stats::profile& pr) {
+                           return pr.totals.fences;
+                         })));
+  }
+
+  std::printf("\n-- 3b: USLCWS CAS / WS CAS --\n");
+  for (const auto p : procs) {
+    print_box_row(p, box_of(counter_ratios(
+                         cells, index, sched_kind::uslcws, sched_kind::ws, p,
+                         [](const stats::profile& pr) {
+                           return pr.totals.cas;
+                         })));
+  }
+
+  std::printf("\n-- 3c: successful steals USLCWS / successful steals WS --\n");
+  for (const auto p : procs) {
+    print_box_row(p, box_of(counter_ratios(
+                         cells, index, sched_kind::uslcws, sched_kind::ws, p,
+                         [](const stats::profile& pr) {
+                           return pr.totals.steals;
+                         })));
+  }
+
+  std::printf("\n-- 3d: %% of exposed work not stolen in USLCWS --\n");
+  for (const auto p : procs) {
+    std::vector<double> fractions;
+    for (const auto& c : cells) {
+      if (c.kind != sched_kind::uslcws || c.procs != p) continue;
+      fractions.push_back(c.result.profile.exposed_not_stolen_fraction());
+    }
+    print_box_row(p, box_of(std::move(fractions)));
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 4 (paper Section 5.1): box plots of the speedup of
+// USLCWS with regard to WS, varying the number of processors, across all
+// input instances of all benchmarks. (The paper shows one sub-figure per
+// machine; this harness reports the local machine.)
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Figure 4",
+               "speedup of USLCWS wrt WS (box over all configs; >1 means "
+               "USLCWS is faster)");
+  const auto procs = env_procs({1, 2, 4, 8});
+  const auto cells = sweep({sched_kind::ws, sched_kind::uslcws}, procs);
+  const sweep_index index(cells);
+  for (const auto p : procs) {
+    print_box_row(p,
+                  box_of(speedups_vs_ws(cells, index, sched_kind::uslcws, p)));
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Figure 5: average speedups with regard to WS of all four LCWS
+// variants (User = USLCWS, Signal, Cons = Conservative Exposure, Half =
+// Expose Half), varying the number of processors across all benchmark
+// configurations.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Figure 5",
+               "average speedup wrt WS per variant (one column per P)");
+  const auto procs = env_procs({1, 2, 4, 8});
+  const auto cells = sweep({sched_kind::ws, sched_kind::uslcws,
+                            sched_kind::signal, sched_kind::conservative,
+                            sched_kind::expose_half},
+                           procs);
+  const sweep_index index(cells);
+
+  std::printf("%-14s", "variant");
+  for (const auto p : procs) std::printf("  P=%-7zu", p);
+  std::printf("\n");
+  for (const sched_kind kind : lcws_sched_kinds) {
+    std::printf("%-14s", to_string(kind));
+    for (const auto p : procs) {
+      std::printf("  %-9.4f", mean_of(speedups_vs_ws(cells, index, kind, p)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Figure 6: percentage of benchmark configurations for which
+// each LCWS variant obtained a speedup > 1 over WS, varying the number of
+// processors.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Figure 6",
+               "%% of configs with speedup > 1 wrt WS, per variant and P");
+  const auto procs = env_procs({1, 2, 4, 8});
+  const auto cells = sweep({sched_kind::ws, sched_kind::uslcws,
+                            sched_kind::signal, sched_kind::conservative,
+                            sched_kind::expose_half},
+                           procs);
+  const sweep_index index(cells);
+
+  std::printf("%-14s", "variant");
+  for (const auto p : procs) std::printf("  P=%-6zu", p);
+  std::printf("\n");
+  for (const sched_kind kind : lcws_sched_kinds) {
+    std::printf("%-14s", to_string(kind));
+    for (const auto p : procs) {
+      const double pct =
+          100.0 * fraction_above(speedups_vs_ws(cells, index, kind, p), 1.0);
+      std::printf("  %5.1f%%  ", pct);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Figure 7 (paper Section 5.2): box plots of the speedup of the
+// signal-based LCWS implementation with regard to WS, varying the number
+// of processors across all benchmark configurations.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Figure 7",
+               "speedup of signal-based LCWS wrt WS (box over all configs)");
+  const auto procs = env_procs({1, 2, 4, 8});
+  const auto cells = sweep({sched_kind::ws, sched_kind::signal}, procs);
+  const sweep_index index(cells);
+  for (const auto p : procs) {
+    print_box_row(p,
+                  box_of(speedups_vs_ws(cells, index, sched_kind::signal, p)));
+  }
+  return 0;
+}

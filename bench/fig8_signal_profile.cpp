@@ -1,0 +1,84 @@
+// Reproduces Figure 8 (paper Section 5.3): profile of the signal-based
+// LCWS implementation, varying the number of processors, over all
+// benchmark configurations.
+//   8a  Signal memory fences / WS memory fences
+//   8b  Signal CAS / WS CAS
+//   8c  Signal successful steals / WS successful steals
+//   8d  % of exposed work not stolen under Signal
+//   8e  Signal memory fences / USLCWS memory fences
+//   8f  Signal CAS / USLCWS CAS
+//   8g  Signal steals / USLCWS steals
+//   8h  Signal unstolen-fraction / USLCWS unstolen-fraction
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+namespace {
+
+void panel_ratio(const char* title, const std::vector<cell>& cells,
+                 const sweep_index& index,
+                 const std::vector<std::size_t>& procs, sched_kind den,
+                 stats::relaxed_counter stats::op_counters::*field) {
+  std::printf("\n-- %s --\n", title);
+  for (const auto p : procs) {
+    print_box_row(
+        p, box_of(counter_ratios(cells, index, sched_kind::signal, den, p,
+                                 [field](const stats::profile& pr) {
+                                   return pr.totals.*field;
+                                 })));
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8", "signal-based LCWS profile vs WS and vs USLCWS");
+  const auto procs = env_procs({2, 4, 8});
+  const auto cells = sweep(
+      {sched_kind::ws, sched_kind::uslcws, sched_kind::signal}, procs);
+  const sweep_index index(cells);
+
+  panel_ratio("8a: Signal mem. fences / WS mem. fences", cells, index, procs,
+              sched_kind::ws, &stats::op_counters::fences);
+  panel_ratio("8b: Signal CAS / WS CAS", cells, index, procs, sched_kind::ws,
+              &stats::op_counters::cas);
+  panel_ratio("8c: Signal steals / WS steals", cells, index, procs,
+              sched_kind::ws, &stats::op_counters::steals);
+
+  std::printf("\n-- 8d: %% of exposed work not stolen (Signal) --\n");
+  for (const auto p : procs) {
+    std::vector<double> fractions;
+    for (const auto& c : cells) {
+      if (c.kind != sched_kind::signal || c.procs != p) continue;
+      fractions.push_back(c.result.profile.exposed_not_stolen_fraction());
+    }
+    print_box_row(p, box_of(std::move(fractions)));
+  }
+
+  panel_ratio("8e: Signal mem. fences / USLCWS mem. fences", cells, index,
+              procs, sched_kind::uslcws, &stats::op_counters::fences);
+  panel_ratio("8f: Signal CAS / USLCWS CAS", cells, index, procs,
+              sched_kind::uslcws, &stats::op_counters::cas);
+  panel_ratio("8g: Signal steals / USLCWS steals", cells, index, procs,
+              sched_kind::uslcws, &stats::op_counters::steals);
+
+  std::printf("\n-- 8h: Signal unstolen fraction / USLCWS unstolen fraction --\n");
+  for (const auto p : procs) {
+    std::vector<double> ratios;
+    for (const auto& c : cells) {
+      if (c.kind != sched_kind::signal || c.procs != p) continue;
+      const cell* base = index.find(c.cfg, p, sched_kind::uslcws);
+      if (base == nullptr) continue;
+      const double d = base->result.profile.exposed_not_stolen_fraction();
+      if (d > 0) {
+        ratios.push_back(c.result.profile.exposed_not_stolen_fraction() / d);
+      }
+    }
+    print_box_row(p, box_of(std::move(ratios)));
+  }
+  return 0;
+}

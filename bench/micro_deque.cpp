@@ -1,0 +1,114 @@
+// Microbenchmark: owner-side deque operation cost per deque type — the
+// per-operation view of the paper's claim that split deques make local
+// work synchronization-free. The WS baselines pay a seq_cst fence per
+// push+pop cycle; the split deque pays none while work stays private.
+#include <benchmark/benchmark.h>
+
+#include "deque/abp_deque.h"
+#include "deque/chase_lev_deque.h"
+#include "deque/split_deque.h"
+
+namespace {
+
+using lcws::abp_deque;
+using lcws::chase_lev_deque;
+using lcws::split_deque;
+
+void BM_AbpPushPop(benchmark::State& state) {
+  abp_deque<int> d(1024);
+  int task = 0;
+  for (auto _ : state) {
+    d.push_bottom(&task);
+    benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbpPushPop);
+
+void BM_ChaseLevPushPop(benchmark::State& state) {
+  chase_lev_deque<int> d(1024);
+  int task = 0;
+  for (auto _ : state) {
+    d.push_bottom(&task);
+    benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+void BM_SplitPushPopOriginal(benchmark::State& state) {
+  split_deque<int> d(1024);
+  int task = 0;
+  for (auto _ : state) {
+    d.push_bottom(&task);
+    benchmark::DoNotOptimize(d.pop_bottom_original());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitPushPopOriginal);
+
+void BM_SplitPushPopSignalSafe(benchmark::State& state) {
+  split_deque<int> d(1024);
+  int task = 0;
+  for (auto _ : state) {
+    d.push_bottom(&task);
+    benchmark::DoNotOptimize(d.pop_bottom_signal_safe());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitPushPopSignalSafe);
+
+// Exposed round trip: push -> expose -> pop_public (the synchronized slow
+// path the split deque pays only for shared work).
+void BM_SplitExposedRoundTrip(benchmark::State& state) {
+  split_deque<int> d(1024);
+  int task = 0;
+  for (auto _ : state) {
+    d.push_bottom(&task);
+    d.expose_one();
+    benchmark::DoNotOptimize(d.pop_bottom_original());  // private empty
+    benchmark::DoNotOptimize(d.pop_public_bottom());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitExposedRoundTrip);
+
+// Steal path cost (uncontended). Steals advance top without lowering bot,
+// so the bounded deques only reset their indices when the owner drains
+// them — batch the loop and drain once per batch.
+constexpr int kStealBatch = 1024;
+
+void BM_SplitStealFromPublic(benchmark::State& state) {
+  split_deque<int> d(1 << 12);
+  int task = 0;
+  while (state.KeepRunningBatch(kStealBatch)) {
+    for (int i = 0; i < kStealBatch; ++i) {
+      d.push_bottom(&task);
+      d.expose_one();
+    }
+    for (int i = 0; i < kStealBatch; ++i) {
+      benchmark::DoNotOptimize(d.pop_top());
+    }
+    benchmark::DoNotOptimize(d.pop_public_bottom());  // resets indices
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitStealFromPublic);
+
+void BM_AbpSteal(benchmark::State& state) {
+  abp_deque<int> d(1 << 12);
+  int task = 0;
+  while (state.KeepRunningBatch(kStealBatch)) {
+    for (int i = 0; i < kStealBatch; ++i) d.push_bottom(&task);
+    for (int i = 0; i < kStealBatch; ++i) {
+      benchmark::DoNotOptimize(d.pop_top());
+    }
+    benchmark::DoNotOptimize(d.pop_bottom());  // resets indices
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbpSteal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

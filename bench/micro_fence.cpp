@@ -1,0 +1,65 @@
+// Microbenchmark: the raw cost of the synchronization primitives whose
+// counts the paper compares — seq_cst fences and CAS versus the relaxed
+// loads/stores that split deques get away with. This is the per-operation
+// justification for "synchronization-light".
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+namespace {
+
+std::atomic<std::uint64_t> g_word{0};
+
+void BM_RelaxedStore(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    g_word.store(++v, std::memory_order_relaxed);
+  }
+}
+BENCHMARK(BM_RelaxedStore);
+
+void BM_RelaxedLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_word.load(std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_RelaxedLoad);
+
+void BM_SeqCstStore(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    g_word.store(++v, std::memory_order_seq_cst);
+  }
+}
+BENCHMARK(BM_SeqCstStore);
+
+void BM_SeqCstFence(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    g_word.store(++v, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+}
+BENCHMARK(BM_SeqCstFence);
+
+void BM_CompareExchange(benchmark::State& state) {
+  for (auto _ : state) {
+    std::uint64_t expected = g_word.load(std::memory_order_relaxed);
+    benchmark::DoNotOptimize(g_word.compare_exchange_strong(
+        expected, expected + 1, std::memory_order_relaxed,
+        std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_CompareExchange);
+
+void BM_FetchAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_word.fetch_add(1, std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_FetchAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Related-work comparison (paper Section 2): the signal-based LCWS
+// scheduler against the baselines its design is contrasted with —
+// classic WS (fully concurrent deques) and the private-deques /
+// steal-request approach of Acar et al. (PPoPP '13) — on a subset of the
+// PBBS configurations, reporting both time and the synchronization
+// profile that explains it.
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Related work",
+               "WS vs signal LCWS vs private deques (Acar et al.) vs Lace-style");
+  const auto procs = env_procs({2, 4});
+  const std::vector<sched_kind> kinds = {
+      sched_kind::ws, sched_kind::signal, sched_kind::private_deques,
+      sched_kind::lace};
+  const auto cells = sweep(kinds, procs);
+  const sweep_index index(cells);
+
+  for (const auto p : procs) {
+    std::printf("-- P=%zu: speedup wrt WS --\n", p);
+    for (const auto kind :
+         {sched_kind::signal, sched_kind::private_deques, sched_kind::lace}) {
+      const auto s = speedups_vs_ws(cells, index, kind, p);
+      const auto b = box_of(s);
+      std::printf("%-16s mean=%.4f  ", to_string(kind), mean_of(s));
+      print_box_row(p, b);
+    }
+  }
+
+  std::printf("\n-- aggregate synchronization profile (all configs, all P) --\n");
+  std::printf("%-16s %12s %12s %12s %12s %12s\n", "scheduler", "fences",
+              "cas", "steals", "attempts", "unexposed");
+  for (const auto kind : kinds) {
+    stats::op_counters totals;
+    for (const auto& c : cells) {
+      if (c.kind == kind) totals += c.result.profile.totals;
+    }
+    std::printf("%-16s %12llu %12llu %12llu %12llu %12llu\n",
+                to_string(kind),
+                static_cast<unsigned long long>(totals.fences),
+                static_cast<unsigned long long>(totals.cas),
+                static_cast<unsigned long long>(totals.steals),
+                static_cast<unsigned long long>(totals.steal_attempts),
+                static_cast<unsigned long long>(totals.unexposures));
+  }
+  return 0;
+}

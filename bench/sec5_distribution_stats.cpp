@@ -1,0 +1,67 @@
+// Reproduces the distribution statistics quoted in Sections 5.1, 5.2 and
+// 5.4 of the paper:
+//   * per variant: % of benchmark executions with speedup > 1 over WS, and
+//     the % with gains of at least 5/10/15/20%;
+//   * per benchmark: the best- and worst-performing configuration's
+//     speedup (the paper quotes e.g. +3.5%..+25.3% best and -0.8%..-102%
+//     worst for USLCWS).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+using namespace lcws;
+using namespace lcws::benchh;
+
+int main() {
+  print_header("Section 5.1/5.2/5.4 statistics",
+               "speedup distribution per variant; best/worst per benchmark");
+  const auto procs = env_procs({1, 2, 4, 8});
+  const auto cells = sweep({sched_kind::ws, sched_kind::uslcws,
+                            sched_kind::signal, sched_kind::conservative,
+                            sched_kind::expose_half},
+                           procs);
+  const sweep_index index(cells);
+
+  std::printf("%-14s %8s %8s %8s %8s %8s\n", "variant", ">1", ">=1.05",
+              ">=1.10", ">=1.15", ">=1.20");
+  for (const sched_kind kind : lcws_sched_kinds) {
+    std::vector<double> all;
+    for (const auto p : procs) {
+      const auto s = speedups_vs_ws(cells, index, kind, p);
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    std::printf("%-14s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                to_string(kind), 100 * fraction_above(all, 1.0),
+                100 * fraction_above(all, 1.05 - 1e-12),
+                100 * fraction_above(all, 1.10 - 1e-12),
+                100 * fraction_above(all, 1.15 - 1e-12),
+                100 * fraction_above(all, 1.20 - 1e-12));
+  }
+
+  for (const sched_kind kind : {sched_kind::uslcws, sched_kind::signal,
+                                sched_kind::expose_half}) {
+    std::printf("\nbest/worst configuration speedup per benchmark (%s):\n",
+                to_string(kind));
+    std::map<std::string, std::pair<double, double>> best_worst;
+    for (const auto& c : cells) {
+      if (c.kind != kind) continue;
+      const cell* base = index.find(c.cfg, c.procs, sched_kind::ws);
+      if (base == nullptr || c.result.seconds <= 0) continue;
+      const double s = base->result.seconds / c.result.seconds;
+      auto [it, fresh] =
+          best_worst.try_emplace(c.cfg.benchmark, s, s);
+      if (!fresh) {
+        it->second.first = std::max(it->second.first, s);
+        it->second.second = std::min(it->second.second, s);
+      }
+    }
+    for (const auto& [bench, bw] : best_worst) {
+      std::printf("  %-22s best %+6.1f%%   worst %+6.1f%%\n", bench.c_str(),
+                  100 * (bw.first - 1), 100 * (bw.second - 1));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Table 1: the machines used in the experimental evaluation.
+// The paper lists Intel12 (2x Xeon E5-2620 v2, 12c/24t, 64 GiB), AMD32
+// (4x Opteron 6272, 32c/64t, 64 GiB) and Intel16 (2x Xeon E5-2609 v4,
+// 16c/16t, 32 GiB); this binary probes and prints the machine the
+// reproduction actually ran on, for EXPERIMENTS.md's paper-vs-local record.
+#include <cstdio>
+
+#include "support/topology.h"
+
+int main() {
+  std::printf("== Table 1 ==\n");
+  std::printf("paper machines:\n");
+  std::printf(
+      "  Intel12  2 x Intel Xeon E5-2620 v2   12 cores / 24 threads   64 "
+      "GiB DDR3 1600\n"
+      "  AMD32    4 x AMD Opteron 6272        32 cores / 64 threads   64 "
+      "GiB DDR3 1600\n"
+      "  Intel16  2 x Intel Xeon E5-2609 v4   16 cores / 16 threads   32 "
+      "GiB DDR4 2400\n\n");
+  std::printf("local machine (this reproduction):\n%s",
+              lcws::format_machine(lcws::probe_machine()).c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Computational-geometry workload (the PBBS intro's geometry domain):
+// convex hull and all-nearest-neighbours over three point distributions,
+// contrasting every scheduler variant's wall-clock on the same inputs —
+// a miniature version of the paper's Section 5 sweep.
+//
+//   ./geometry_suite [points] [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pbbs/benchmarks/convex_hull.h"
+#include "pbbs/benchmarks/nearest_neighbors.h"
+#include "sched/dispatch.h"
+#include "support/timing.h"
+
+using namespace lcws;
+using namespace lcws::pbbs;
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 200000;
+  const std::size_t workers =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 4;
+
+  const auto hull_in = convex_hull_bench::make("2DinSphere", n);
+  const auto knn_in = nearest_neighbors_bench::make("2DinCube", n / 2);
+
+  std::printf("%-14s %-14s %-14s\n", "scheduler", "hull (s)", "knn (s)");
+  for (const sched_kind kind : all_sched_kinds) {
+    with_scheduler(kind, workers, [&](auto& sched) {
+      stopwatch sw;
+      const auto hull = convex_hull_bench::run(sched, hull_in);
+      const double hull_time = sw.elapsed_seconds();
+      if (!convex_hull_bench::check(hull_in, hull)) {
+        std::fprintf(stderr, "hull validation FAILED under %s\n",
+                     to_string(kind));
+        std::exit(1);
+      }
+      sw.reset();
+      const auto knn = nearest_neighbors_bench::run(sched, knn_in);
+      const double knn_time = sw.elapsed_seconds();
+      if (!nearest_neighbors_bench::check(knn_in, knn)) {
+        std::fprintf(stderr, "knn validation FAILED under %s\n",
+                     to_string(kind));
+        std::exit(1);
+      }
+      std::printf("%-14s %-14.3f %-14.3f  (hull size %zu)\n",
+                  to_string(kind), hull_time, knn_time, hull.hull.size());
+    });
+  }
+  return 0;
+}

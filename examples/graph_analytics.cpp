@@ -1,0 +1,104 @@
+// Graph-analytics workload (the PBBS intro's graph processing): build an
+// R-MAT power-law graph, then run BFS, maximal matching, maximal
+// independent set and spanning forest on it, under a scheduler chosen on
+// the command line.
+//
+//   ./graph_analytics [edges] [workers] [scheduler]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pbbs/benchmarks/bfs.h"
+#include "pbbs/benchmarks/maximal_matching.h"
+#include "pbbs/benchmarks/min_spanning_forest.h"
+#include "pbbs/benchmarks/mis.h"
+#include "pbbs/benchmarks/spanning_forest.h"
+#include "sched/dispatch.h"
+#include "support/timing.h"
+
+using namespace lcws;
+using namespace lcws::pbbs;
+
+namespace {
+
+template <typename Sched>
+void analytics(Sched& sched, std::size_t edges) {
+  std::printf("scheduler: %s, workers: %zu\n", Sched::name(),
+              sched.num_workers());
+
+  const auto bfs_in = bfs_bench::make("rMatGraph", edges);
+  std::printf("graph: %zu vertices, %zu arcs\n", bfs_in.g->num_vertices(),
+              bfs_in.g->num_arcs());
+
+  stopwatch sw;
+  const auto bfs_out = bfs_bench::run(sched, bfs_in);
+  std::size_t reached = 0;
+  std::uint32_t max_depth = 0;
+  for (const auto d : bfs_out.distance) {
+    if (d != bfs_bench::unreached) {
+      ++reached;
+      max_depth = std::max(max_depth, d);
+    }
+  }
+  std::printf("BFS:            %.3f s  (%zu reached, depth %u, valid=%d)\n",
+              sw.elapsed_seconds(), reached, max_depth,
+              static_cast<int>(bfs_bench::check(bfs_in, bfs_out)));
+
+  auto mm_in = maximal_matching_bench::make("rMatGraph", edges);
+  sw.reset();
+  const auto mm_out = maximal_matching_bench::run(sched, mm_in);
+  std::printf("matching:       %.3f s  (%zu edges, valid=%d)\n",
+              sw.elapsed_seconds(), mm_out.matched_edges.size(),
+              static_cast<int>(maximal_matching_bench::check(mm_in, mm_out)));
+
+  auto mis_in = mis_bench::make("rMatGraph", edges);
+  sw.reset();
+  const auto mis_out = mis_bench::run(sched, mis_in);
+  std::size_t members = 0;
+  for (const auto b : mis_out.in_set) members += b;
+  std::printf("MIS:            %.3f s  (%zu members, valid=%d)\n",
+              sw.elapsed_seconds(), members,
+              static_cast<int>(mis_bench::check(mis_in, mis_out)));
+
+  auto sf_in = spanning_forest_bench::make("rMatGraph", edges);
+  sw.reset();
+  const auto sf_out = spanning_forest_bench::run(sched, sf_in);
+  std::printf("spanningForest: %.3f s  (%zu edges, valid=%d)\n",
+              sw.elapsed_seconds(), sf_out.forest_edges.size(),
+              static_cast<int>(spanning_forest_bench::check(sf_in, sf_out)));
+
+  auto msf_in = min_spanning_forest_bench::make("rMatGraph", edges);
+  sw.reset();
+  const auto msf_out = min_spanning_forest_bench::run(sched, msf_in);
+  std::printf("minSpanForest:  %.3f s  (%zu edges, valid=%d)\n",
+              sw.elapsed_seconds(), msf_out.forest_edges.size(),
+              static_cast<int>(
+                  min_spanning_forest_bench::check(msf_in, msf_out)));
+
+  const auto totals = sched.profile().totals;
+  std::printf("sync profile: fences=%llu cas=%llu steals=%llu signals=%llu\n",
+              static_cast<unsigned long long>(totals.fences),
+              static_cast<unsigned long long>(totals.cas),
+              static_cast<unsigned long long>(totals.steals),
+              static_cast<unsigned long long>(totals.signals_sent));
+}
+
+sched_kind parse_kind(const char* name) {
+  for (const sched_kind kind : all_sched_kinds) {
+    if (std::strcmp(name, to_string(kind)) == 0) return kind;
+  }
+  return sched_kind::signal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t edges =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 400000;
+  const std::size_t workers =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 4;
+  const sched_kind kind = argc > 3 ? parse_kind(argv[3]) : sched_kind::signal;
+  with_scheduler(kind, workers,
+                 [edges](auto& sched) { analytics(sched, edges); });
+  return 0;
+}

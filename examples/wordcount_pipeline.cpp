@@ -1,0 +1,84 @@
+// Text-processing pipeline (the PBBS intro's text workloads): generate a
+// trigram corpus, count words concurrently, build an inverted index over
+// documents, and report the most frequent words — comparing the
+// synchronization profile of WS vs signal-based LCWS on the same pipeline.
+//
+//   ./wordcount_pipeline [n_words] [workers]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "pbbs/benchmarks/inverted_index.h"
+#include "pbbs/benchmarks/word_counts.h"
+#include "sched/scheduler.h"
+#include "support/timing.h"
+
+using namespace lcws;
+using namespace lcws::pbbs;
+
+namespace {
+
+template <typename Sched>
+void pipeline(std::size_t n_words, std::size_t workers) {
+  Sched sched(workers);
+  std::printf("--- %s (%zu workers) ---\n", Sched::name(), workers);
+
+  // Word counts.
+  const auto wc_input = word_counts_bench::make("trigramSeq", n_words);
+  stopwatch sw;
+  auto wc = word_counts_bench::run(sched, wc_input);
+  const double wc_time = sw.elapsed_seconds();
+  if (!word_counts_bench::check(wc_input, wc)) {
+    std::fprintf(stderr, "wordCounts validation FAILED\n");
+    std::exit(1);
+  }
+  std::sort(wc.counts.begin(), wc.counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("wordCounts: %zu distinct words in %.3f s; top:",
+              wc.counts.size(), wc_time);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, wc.counts.size());
+       ++i) {
+    std::printf(" %.*s(%llu)", static_cast<int>(wc.counts[i].first.size()),
+                wc.counts[i].first.data(),
+                static_cast<unsigned long long>(wc.counts[i].second));
+  }
+  std::printf("\n");
+
+  // Inverted index over documents.
+  const auto ii_input = inverted_index_bench::make("wikipedia", n_words);
+  sw.reset();
+  const auto index = inverted_index_bench::run(sched, ii_input);
+  const double ii_time = sw.elapsed_seconds();
+  if (!inverted_index_bench::check(ii_input, index)) {
+    std::fprintf(stderr, "invertedIndex validation FAILED\n");
+    std::exit(1);
+  }
+  std::size_t postings = 0;
+  for (const auto& p : index.index) postings += p.doc_ids.size();
+  std::printf("invertedIndex: %zu words, %zu postings over %zu docs in %.3f "
+              "s\n",
+              index.index.size(), postings, ii_input.docs->docs.size(),
+              ii_time);
+
+  const auto totals = sched.profile().totals;
+  std::printf("sync profile: fences=%llu cas=%llu steals=%llu "
+              "exposures=%llu signals=%llu\n\n",
+              static_cast<unsigned long long>(totals.fences),
+              static_cast<unsigned long long>(totals.cas),
+              static_cast<unsigned long long>(totals.steals),
+              static_cast<unsigned long long>(totals.exposures),
+              static_cast<unsigned long long>(totals.signals_sent));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_words =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 200000;
+  const std::size_t workers =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 4;
+  pipeline<ws_scheduler>(n_words, workers);
+  pipeline<signal_scheduler>(n_words, workers);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// The baseline Work Stealing deque: a bounded Arora–Blumofe–Plaxton (ABP)
+// deque with an age/tag word, in the exact shape used by Parlay's default
+// scheduler (the paper's "WS" baseline).
+//
+// The synchronization profile this baseline exhibits — and that Figures 3a
+// and 8a of the paper divide by — is:
+//   * push_bottom: one seq_cst fence (publishes the new bottom to thieves),
+//   * pop_bottom:  one seq_cst fence (the Dekker-style owner/thief
+//     handshake Attiya et al. prove unavoidable for fully concurrent
+//     deques) plus a CAS when racing for the last task,
+//   * pop_top:     one CAS.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "deque/deque_common.h"
+#include "stats/counters.h"
+#include "support/align.h"
+
+namespace lcws {
+
+template <typename T>
+class abp_deque {
+ public:
+  explicit abp_deque(std::size_t capacity = default_deque_capacity)
+      : slots_(capacity) {}
+
+  abp_deque(const abp_deque&) = delete;
+  abp_deque& operator=(const abp_deque&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Owner only.
+  void push_bottom(T* task) {
+    const auto b = bot_.load(std::memory_order_relaxed);
+    if (static_cast<std::size_t>(b) >= slots_.size()) overflow();
+    slots_[static_cast<std::size_t>(b)].store(task,
+                                              std::memory_order_relaxed);
+    // Release: a thief that acquire-reads the new bot must see the slot
+    // (and the job payload written before the push). Free on x86.
+    bot_.store(b + 1, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    stats::count_fence();
+    stats::count_push();
+  }
+
+  // Owner only. Returns nullptr when the deque is empty.
+  T* pop_bottom() {
+    auto b = bot_.load(std::memory_order_relaxed);
+    if (b == 0) return nullptr;
+    --b;
+    bot_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    stats::count_fence();
+    T* task = slots_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    auto old_age = unpack_age(age_.load(std::memory_order_relaxed));
+    if (b > static_cast<std::int64_t>(old_age.top)) {
+      stats::count_pop_private();
+      return task;
+    }
+    // Zero or one task left: reset the deque, racing thieves for the last
+    // task through the age CAS.
+    bot_.store(0, std::memory_order_relaxed);
+    const age_t new_age{old_age.tag + 1, 0};
+    if (b == static_cast<std::int64_t>(old_age.top)) {
+      auto expected = pack_age(old_age);
+      const bool won = age_.compare_exchange_strong(
+          expected, pack_age(new_age), std::memory_order_relaxed,
+          std::memory_order_relaxed);
+      stats::count_cas(won);
+      if (won) {
+        stats::count_pop_private();
+        return task;
+      }
+    }
+    age_.store(pack_age(new_age), std::memory_order_release);
+    return nullptr;
+  }
+
+  // Thieves (and, in principle, anyone). One CAS per attempt.
+  steal_result<T> pop_top() {
+    stats::count_steal_attempt();
+    const auto old_age = unpack_age(age_.load(std::memory_order_acquire));
+    const auto b = bot_.load(std::memory_order_acquire);
+    if (b <= static_cast<std::int64_t>(old_age.top)) {
+      return {steal_status::empty, nullptr};
+    }
+    T* task = slots_[old_age.top].load(std::memory_order_relaxed);
+    age_t new_age = old_age;
+    ++new_age.top;
+    auto expected = pack_age(old_age);
+    const bool won = age_.compare_exchange_strong(
+        expected, pack_age(new_age), std::memory_order_seq_cst,
+        std::memory_order_relaxed);
+    stats::count_cas(won);
+    if (won) {
+      stats::count_steal_success();
+      return {steal_status::stolen, task};
+    }
+    stats::count_steal_abort();
+    return {steal_status::aborted, nullptr};
+  }
+
+  // Racy size estimate (harness/diagnostics only).
+  std::int64_t size_estimate() const noexcept {
+    const auto b = bot_.load(std::memory_order_relaxed);
+    const auto t = static_cast<std::int64_t>(
+        unpack_age(age_.load(std::memory_order_relaxed)).top);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_estimate() const noexcept { return size_estimate() == 0; }
+
+ private:
+  [[noreturn]] void overflow() const {
+    std::fprintf(stderr, "lcws: abp_deque overflow (capacity %zu)\n",
+                 slots_.size());
+    std::abort();
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> bot_{0};
+  alignas(cache_line_size) std::atomic<std::uint64_t> age_{0};
+  alignas(cache_line_size) std::vector<std::atomic<T*>> slots_;
+};
+
+}  // namespace lcws

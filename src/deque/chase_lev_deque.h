@@ -1,0 +1,119 @@
+// Chase–Lev circular work-stealing deque (SPAA '05), bounded variant.
+//
+// Included as a second fully-concurrent baseline for the ablation
+// microbenches (bench/micro_deque): it has the same owner-side fence cost
+// as the ABP deque — one seq_cst fence in take() — but uses monotonically
+// increasing 64-bit indices instead of an age/tag word, so it needs no ABA
+// tag and the top CAS can fail only against a genuinely concurrent steal.
+//
+// Index convention follows the original paper: top is the steal end,
+// bottom the owner end; the buffer is circular so indices never reset.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "deque/deque_common.h"
+#include "stats/counters.h"
+#include "support/align.h"
+
+namespace lcws {
+
+template <typename T>
+class chase_lev_deque {
+ public:
+  explicit chase_lev_deque(std::size_t capacity = default_deque_capacity)
+      : mask_(next_pow2(capacity) - 1), slots_(next_pow2(capacity)) {}
+
+  chase_lev_deque(const chase_lev_deque&) = delete;
+  chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Owner only.
+  void push_bottom(T* task) {
+    const auto b = bottom_.load(std::memory_order_relaxed);
+    const auto t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(slots_.size())) overflow();
+    slots_[static_cast<std::size_t>(b) & mask_].store(
+        task, std::memory_order_relaxed);
+    // Publish the slot before the new bottom becomes visible to thieves.
+    bottom_.store(b + 1, std::memory_order_release);
+    stats::count_push();
+  }
+
+  // Owner only.
+  T* pop_bottom() {
+    const auto b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    stats::count_fence();
+    auto t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; undo.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* task =
+        slots_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed);
+    if (t < b) {
+      stats::count_pop_private();
+      return task;  // More than one task: no race possible.
+    }
+    // Last task: race thieves by advancing top ourselves.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    stats::count_cas(won);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    if (won) {
+      stats::count_pop_private();
+      return task;
+    }
+    return nullptr;
+  }
+
+  // Thieves.
+  steal_result<T> pop_top() {
+    stats::count_steal_attempt();
+    auto t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    stats::count_fence();
+    const auto b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return {steal_status::empty, nullptr};
+    T* task = slots_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    stats::count_cas(won);
+    if (won) {
+      stats::count_steal_success();
+      return {steal_status::stolen, task};
+    }
+    stats::count_steal_abort();
+    return {steal_status::aborted, nullptr};
+  }
+
+  std::int64_t size_estimate() const noexcept {
+    const auto b = bottom_.load(std::memory_order_relaxed);
+    const auto t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  [[noreturn]] void overflow() const {
+    std::fprintf(stderr, "lcws: chase_lev_deque overflow (capacity %zu)\n",
+                 slots_.size());
+    std::abort();
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> top_{0};
+  alignas(cache_line_size) std::atomic<std::int64_t> bottom_{0};
+  const std::size_t mask_;
+  std::vector<std::atomic<T*>> slots_;
+};
+
+}  // namespace lcws

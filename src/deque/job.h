@@ -1,0 +1,56 @@
+// The unit of scheduling: a type-erased, stack-allocatable job.
+//
+// Following Parlay's design, a fork allocates the forked branch as a
+// `lambda_job` on the forking function's stack frame, pushes a pointer to it
+// onto the worker's deque, and on join waits for `done`. The job object
+// outlives every access because the forker cannot return before observing
+// done == true.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+#include <utility>
+
+namespace lcws {
+
+class job {
+ public:
+  using run_fn = void (*)(job*);
+
+  explicit job(run_fn fn) noexcept : fn_(fn) {}
+  job(const job&) = delete;
+  job& operator=(const job&) = delete;
+
+  // Runs the payload, then publishes completion. The release store is the
+  // last access to *this: once a joiner observes done, the frame that owns
+  // this job may unwind.
+  void execute() {
+    fn_(this);
+    done_.store(true, std::memory_order_release);
+  }
+
+  bool is_done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+ private:
+  run_fn fn_;
+  std::atomic<bool> done_{false};
+};
+
+// Wraps a callable (typically a lambda capturing by reference) as a job.
+template <typename F>
+class lambda_job : public job {
+ public:
+  static_assert(std::is_invocable_v<F&>);
+
+  explicit lambda_job(F& f) noexcept : job(&invoke), f_(f) {}
+
+ private:
+  static void invoke(job* base) {
+    static_cast<lambda_job*>(base)->f_();
+  }
+  F& f_;
+};
+
+}  // namespace lcws

@@ -1,0 +1,107 @@
+// collect_reduce / group_by: combine all values sharing a key — the
+// primitive behind PBBS's histogram-family workloads. Keys must be small
+// integers (bucket ids); the implementation reuses the per-block counting
+// + column-major scan + stable scatter pattern.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace lcws::par {
+
+// For each key k in [0, num_keys): out[k] = reduce(combine, identity,
+// values of all items with key k). Deterministic: per-key reduction
+// happens in item order.
+template <typename Sched, typename It, typename KeyFn, typename ValFn,
+          typename T, typename Combine>
+std::vector<T> collect_reduce(Sched& sched, It items, std::size_t n,
+                              std::size_t num_keys, KeyFn key, ValFn value,
+                              T identity, Combine combine) {
+  std::vector<T> out(num_keys, identity);
+  if (n == 0 || num_keys == 0) return out;
+  const std::size_t nblocks = std::max<std::size_t>(
+      1, std::min((n + 4095) / 4096, 8 * sched.num_workers()));
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  // Per-block, per-key partial reductions (dense; right choice when
+  // num_keys is small relative to n, as in histogram-like workloads).
+  std::vector<T> partial(nblocks * num_keys, identity);
+  parallel_for(
+      sched, 0, nblocks,
+      [&](std::size_t b) {
+        auto* local = &partial[b * num_keys];
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t k = key(items[i]);
+          local[k] = combine(local[k], value(items[i]));
+        }
+      },
+      1);
+  parallel_for(sched, 0, num_keys, [&](std::size_t k) {
+    T acc = identity;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      acc = combine(acc, partial[b * num_keys + k]);
+    }
+    out[k] = acc;
+  });
+  return out;
+}
+
+// Groups item indices by key: result[k] lists the indices with key k, in
+// ascending order (stable).
+template <typename Sched, typename It, typename KeyFn>
+std::vector<std::vector<std::uint32_t>> group_by(Sched& sched, It items,
+                                                 std::size_t n,
+                                                 std::size_t num_keys,
+                                                 KeyFn key) {
+  std::vector<std::vector<std::uint32_t>> out(num_keys);
+  if (n == 0 || num_keys == 0) return out;
+  const std::size_t nblocks = std::max<std::size_t>(
+      1, std::min((n + 4095) / 4096, 8 * sched.num_workers()));
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  std::vector<std::uint64_t> counts(nblocks * num_keys, 0);
+  parallel_for(
+      sched, 0, nblocks,
+      [&](std::size_t b) {
+        auto* local = &counts[b * num_keys];
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) ++local[key(items[i])];
+      },
+      1);
+  // Per-key totals and per-block starting offsets (column-major scan).
+  std::vector<std::uint64_t> totals(num_keys, 0);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    std::uint64_t running = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::uint64_t& c = counts[b * num_keys + k];
+      const std::uint64_t tmp = c;
+      c = running;
+      running += tmp;
+    }
+    totals[k] = running;
+  }
+  parallel_for(sched, 0, num_keys, [&](std::size_t k) {
+    out[k].resize(totals[k]);
+  });
+  parallel_for(
+      sched, 0, nblocks,
+      [&](std::size_t b) {
+        auto* local = &counts[b * num_keys];
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t k = key(items[i]);
+          out[k][local[k]++] = static_cast<std::uint32_t>(i);
+        }
+      },
+      1);
+  return out;
+}
+
+}  // namespace lcws::par

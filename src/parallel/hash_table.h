@@ -1,0 +1,192 @@
+// Concurrent open-addressing hash structures for the PBBS-style workloads:
+//   * hash_set<K>    — insert-only set of integer keys (removeDuplicates),
+//   * string_counter — word -> count map over a text corpus (wordCounts,
+//     invertedIndex), counting with relaxed atomic increments.
+//
+// Fixed capacity (2x expected size), linear probing, CAS on an atomic key
+// slot to claim; both structures tolerate fully concurrent inserts from
+// scheduler tasks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/align.h"
+#include "support/rng.h"
+
+namespace lcws::par {
+
+// Insert-only concurrent set of 64-bit keys. One key value must be
+// reserved as "empty" (default ~0).
+template <typename K = std::uint64_t>
+class hash_set {
+ public:
+  static constexpr K empty_key = static_cast<K>(-1);
+
+  explicit hash_set(std::size_t expected)
+      : mask_(next_pow2(2 * expected + 16) - 1), slots_(mask_ + 1) {
+    for (auto& s : slots_) s.store(empty_key, std::memory_order_relaxed);
+  }
+
+  // Returns true iff the key was newly inserted.
+  bool insert(K key) {
+    std::size_t i = hash64(static_cast<std::uint64_t>(key)) & mask_;
+    while (true) {
+      K cur = slots_[i].load(std::memory_order_relaxed);
+      if (cur == key) return false;
+      if (cur == empty_key) {
+        if (slots_[i].compare_exchange_strong(cur, key,
+                                              std::memory_order_relaxed,
+                                              std::memory_order_relaxed)) {
+          return true;
+        }
+        if (cur == key) return false;  // lost the slot to an equal insert
+        // Lost to a different key: fall through and keep probing.
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool contains(K key) const {
+    std::size_t i = hash64(static_cast<std::uint64_t>(key)) & mask_;
+    while (true) {
+      const K cur = slots_[i].load(std::memory_order_relaxed);
+      if (cur == key) return true;
+      if (cur == empty_key) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Extraction of all present keys (quiescent phases only).
+  std::vector<K> keys() const {
+    std::vector<K> out;
+    for (const auto& s : slots_) {
+      const K k = s.load(std::memory_order_relaxed);
+      if (k != empty_key) out.push_back(k);
+    }
+    return out;
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<std::atomic<K>> slots_;
+};
+
+// Concurrent word -> count map over substrings of one corpus. A word is
+// identified by (offset, length) within the corpus, packed into a single
+// atomic 64-bit key (40 offset bits, 24 length bits) so a slot is claimed
+// with one CAS and readers never observe half-published keys.
+class string_counter {
+ public:
+  string_counter(std::string_view corpus, std::size_t expected)
+      : corpus_(corpus),
+        mask_(next_pow2(2 * expected + 16) - 1),
+        keys_(mask_ + 1),
+        counts_(mask_ + 1) {
+    for (auto& k : keys_) k.store(kEmpty, std::memory_order_relaxed);
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
+
+  // Adds one occurrence of `word`, which must point into the corpus.
+  // Returns the slot index (stable for equal words).
+  std::size_t add(std::string_view word) {
+    const std::uint64_t key = pack(word);
+    std::size_t i = hash_bytes(word) & mask_;
+    while (true) {
+      std::uint64_t cur = keys_[i].load(std::memory_order_relaxed);
+      if (cur == kEmpty) {
+        if (keys_[i].compare_exchange_strong(cur, key,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+          counts_[i].fetch_add(1, std::memory_order_relaxed);
+          return i;
+        }
+        // cur now holds the winner's key; fall through to compare it.
+      }
+      if (cur == key || unpack(cur) == word) {
+        counts_[i].fetch_add(1, std::memory_order_relaxed);
+        return i;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // Returns the slot holding `word`, or npos if absent.
+  std::size_t find(std::string_view word) const {
+    const std::uint64_t key = pack(word);
+    std::size_t i = hash_bytes(word) & mask_;
+    while (true) {
+      const std::uint64_t cur = keys_[i].load(std::memory_order_relaxed);
+      if (cur == kEmpty) return npos;
+      if (cur == key || unpack(cur) == word) return i;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Occurrence count for a word (0 if absent).
+  std::uint64_t count(std::string_view word) const {
+    const std::size_t i = find(word);
+    return i == npos ? 0 : counts_[i].load(std::memory_order_relaxed);
+  }
+
+  // The word stored in an occupied slot (empty view otherwise).
+  std::string_view word_at(std::size_t slot) const {
+    const std::uint64_t cur = keys_[slot].load(std::memory_order_relaxed);
+    return cur == kEmpty ? std::string_view{} : unpack(cur);
+  }
+
+  // (word, count) dump; quiescent phases only.
+  std::vector<std::pair<std::string_view, std::uint64_t>> entries() const {
+    std::vector<std::pair<std::string_view, std::uint64_t>> out;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      const std::uint64_t cur = keys_[i].load(std::memory_order_relaxed);
+      if (cur != kEmpty) {
+        out.emplace_back(unpack(cur),
+                         counts_[i].load(std::memory_order_relaxed));
+      }
+    }
+    return out;
+  }
+
+  std::size_t capacity() const noexcept { return keys_.size(); }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  static constexpr unsigned kLenBits = 24;
+
+  std::uint64_t pack(std::string_view word) const noexcept {
+    const auto offset = static_cast<std::uint64_t>(word.data() -
+                                                   corpus_.data());
+    return (offset << kLenBits) | static_cast<std::uint64_t>(word.size());
+  }
+
+  std::string_view unpack(std::uint64_t key) const noexcept {
+    const std::uint64_t offset = key >> kLenBits;
+    const std::uint64_t len = key & ((std::uint64_t{1} << kLenBits) - 1);
+    return corpus_.substr(static_cast<std::size_t>(offset),
+                          static_cast<std::size_t>(len));
+  }
+
+  static std::uint64_t hash_bytes(std::string_view s) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a, then mixed
+    for (const char c : s) {
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    return hash64(h);
+  }
+
+  const std::string_view corpus_;
+  const std::size_t mask_;
+  std::vector<std::atomic<std::uint64_t>> keys_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+}  // namespace lcws::par

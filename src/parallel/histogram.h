@@ -1,0 +1,70 @@
+// Parallel histogram — PBBS's histogram stand-in.
+//
+// Two regimes:
+//   * few buckets: per-block private histograms, then a parallel
+//     bucket-wise reduction (no atomics on the hot path);
+//   * many buckets: direct atomic fetch_add (the per-block matrices would
+//     no longer fit in cache).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace lcws::par {
+
+// Counts occurrences of each value of key(x) in [0, buckets).
+template <typename Sched, typename It, typename KeyFn>
+std::vector<std::uint64_t> histogram(Sched& sched, It in, std::size_t n,
+                                     std::size_t buckets, KeyFn key) {
+  std::vector<std::uint64_t> out(buckets, 0);
+  if (n == 0 || buckets == 0) return out;
+
+  constexpr std::size_t kPrivateLimit = 1 << 14;
+  if (buckets <= kPrivateLimit) {
+    const std::size_t nblocks = std::max<std::size_t>(
+        1, std::min((n + 4095) / 4096, 8 * sched.num_workers()));
+    const std::size_t block = (n + nblocks - 1) / nblocks;
+    std::vector<std::uint64_t> partial(nblocks * buckets, 0);
+    parallel_for(
+        sched, 0, nblocks,
+        [&](std::size_t b) {
+          auto* local = &partial[b * buckets];
+          const std::size_t lo = b * block;
+          const std::size_t hi = std::min(n, lo + block);
+          for (std::size_t i = lo; i < hi; ++i) ++local[key(in[i])];
+        },
+        1);
+    parallel_for(sched, 0, buckets, [&](std::size_t bucket) {
+      std::uint64_t total = 0;
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        total += partial[b * buckets + bucket];
+      }
+      out[bucket] = total;
+    });
+    return out;
+  }
+
+  std::vector<std::atomic<std::uint64_t>> atomic_out(buckets);
+  parallel_for(sched, 0, buckets,
+               [&](std::size_t b) { atomic_out[b].store(0, std::memory_order_relaxed); });
+  parallel_for(sched, 0, n, [&](std::size_t i) {
+    atomic_out[key(in[i])].fetch_add(1, std::memory_order_relaxed);
+  });
+  parallel_for(sched, 0, buckets, [&](std::size_t b) {
+    out[b] = atomic_out[b].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+template <typename Sched, typename It>
+std::vector<std::uint64_t> histogram(Sched& sched, It in, std::size_t n,
+                                     std::size_t buckets) {
+  return histogram(sched, in, n, buckets,
+                   [](auto x) { return static_cast<std::size_t>(x); });
+}
+
+}  // namespace lcws::par

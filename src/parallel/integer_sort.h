@@ -1,0 +1,101 @@
+// Parallel integer (LSD radix) sort — PBBS's integerSort stand-in.
+//
+// Each pass sorts by 8 key bits: per-block counting in parallel, a
+// column-major exclusive scan over the (blocks x 256) count matrix, then a
+// stable parallel scatter where each block writes through its own offsets.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace lcws::par {
+
+namespace detail {
+inline constexpr std::size_t radix_bits = 8;
+inline constexpr std::size_t radix_buckets = std::size_t{1} << radix_bits;
+
+// Number of counting blocks: enough for parallelism, few enough that the
+// count matrix stays cache-resident.
+inline std::size_t radix_blocks(std::size_t n, std::size_t workers) noexcept {
+  const std::size_t by_size = (n + 4095) / 4096;
+  return std::max<std::size_t>(1, std::min(by_size, 8 * workers));
+}
+}  // namespace detail
+
+// Sorts v by key(v[i]), an unsigned integer with at most key_bits bits.
+// Stable within each pass, hence stable overall.
+template <typename Sched, typename T, typename KeyFn>
+void integer_sort(Sched& sched, std::vector<T>& v, KeyFn key,
+                  unsigned key_bits) {
+  using namespace detail;
+  const std::size_t n = v.size();
+  if (n <= 1) return;
+  std::vector<T> buf(n);
+  T* src = v.data();
+  T* dst = buf.data();
+
+  const std::size_t nblocks = radix_blocks(n, sched.num_workers());
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  std::vector<std::uint64_t> counts(nblocks * radix_buckets);
+
+  const unsigned passes = (key_bits + radix_bits - 1) / radix_bits;
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    const unsigned shift = pass * static_cast<unsigned>(radix_bits);
+    // Pass 1: per-block bucket counts.
+    parallel_for(
+        sched, 0, nblocks,
+        [&](std::size_t b) {
+          auto* local = &counts[b * radix_buckets];
+          std::fill(local, local + radix_buckets, 0);
+          const std::size_t lo = b * block;
+          const std::size_t hi = std::min(n, lo + block);
+          for (std::size_t i = lo; i < hi; ++i) {
+            ++local[(key(src[i]) >> shift) & (radix_buckets - 1)];
+          }
+        },
+        1);
+    // Column-major exclusive scan: bucket 0 of every block, then bucket 1
+    // of every block, ... yields stable global offsets. The matrix is tiny
+    // (blocks x 256), so this stays sequential.
+    std::uint64_t running = 0;
+    for (std::size_t bucket = 0; bucket < radix_buckets; ++bucket) {
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        std::uint64_t& c = counts[b * radix_buckets + bucket];
+        const std::uint64_t tmp = c;
+        c = running;
+        running += tmp;
+      }
+    }
+    // Pass 2: scatter, each block through its own offset row.
+    parallel_for(
+        sched, 0, nblocks,
+        [&](std::size_t b) {
+          auto* local = &counts[b * radix_buckets];
+          const std::size_t lo = b * block;
+          const std::size_t hi = std::min(n, lo + block);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t bucket =
+                (key(src[i]) >> shift) & (radix_buckets - 1);
+            dst[local[bucket]++] = src[i];
+          }
+        },
+        1);
+    std::swap(src, dst);
+  }
+  if (src != v.data()) {
+    parallel_for(sched, 0, n, [&](std::size_t i) { v[i] = src[i]; });
+  }
+}
+
+// Convenience for plain unsigned vectors.
+template <typename Sched, typename U>
+void integer_sort(Sched& sched, std::vector<U>& v, unsigned key_bits) {
+  integer_sort(sched, v, [](U x) { return x; }, key_bits);
+}
+
+}  // namespace lcws::par

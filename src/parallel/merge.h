@@ -1,0 +1,48 @@
+// Parallel merge of two sorted ranges by recursive dual binary search.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+namespace lcws::par {
+
+namespace detail {
+
+template <typename Sched, typename ItA, typename ItB, typename ItOut,
+          typename Cmp>
+void merge_rec(Sched& sched, ItA a, std::size_t na, ItB b, std::size_t nb,
+               ItOut out, Cmp cmp, std::size_t grain) {
+  if (na + nb <= grain) {
+    std::merge(a, a + na, b, b + nb, out, cmp);
+    return;
+  }
+  if (na < nb) {
+    // Recurse on the larger side so the split keeps shrinking.
+    merge_rec(sched, b, nb, a, na, out, cmp, grain);
+    return;
+  }
+  // Split a at its midpoint; find b's matching position.
+  const std::size_t ma = na / 2;
+  const std::size_t mb = static_cast<std::size_t>(
+      std::lower_bound(b, b + nb, a[ma], cmp) - b);
+  sched.pardo(
+      [&] { merge_rec(sched, a, ma, b, mb, out, cmp, grain); },
+      [&] {
+        // a[ma] goes into the right half (stability: equal b's went left).
+        merge_rec(sched, a + ma, na - ma, b + mb, nb - mb, out + ma + mb,
+                  cmp, grain);
+      });
+}
+
+}  // namespace detail
+
+// Merges sorted [a, a+na) and [b, b+nb) into out (not overlapping inputs).
+template <typename Sched, typename ItA, typename ItB, typename ItOut,
+          typename Cmp = std::less<>>
+void merge(Sched& sched, ItA a, std::size_t na, ItB b, std::size_t nb,
+           ItOut out, Cmp cmp = {}, std::size_t grain = 4096) {
+  detail::merge_rec(sched, a, na, b, nb, out, cmp, grain);
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,52 @@
+// Parallel pack/filter: keep the elements selected by a predicate or flag
+// array, preserving order. Built on scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+
+namespace lcws::par {
+
+// Returns the elements of in[0, n) whose pred(value) holds, in order.
+template <typename Sched, typename It, typename Pred>
+auto filter(Sched& sched, It in, std::size_t n, Pred pred) {
+  using value_type = std::remove_cvref_t<decltype(in[0])>;
+  std::vector<std::size_t> offsets(n);
+  // Scan of 0/1 selection flags computed on the fly.
+  std::vector<std::uint8_t> keep(n);
+  parallel_for(sched, 0, n,
+               [&](std::size_t i) { keep[i] = pred(in[i]) ? 1 : 0; });
+  const std::size_t total = scan_exclusive(
+      sched, keep.begin(), offsets.begin(), n, std::size_t{0},
+      [](std::size_t a, auto b) { return a + static_cast<std::size_t>(b); });
+  std::vector<value_type> out(total);
+  parallel_for(sched, 0, n, [&](std::size_t i) {
+    if (keep[i]) out[offsets[i]] = in[i];
+  });
+  return out;
+}
+
+// Like filter, but selects by index: keeps i where pred(i).
+template <typename Sched, typename Pred, typename Gen>
+auto pack_index(Sched& sched, std::size_t n, Pred pred, Gen gen) {
+  using value_type = decltype(gen(std::size_t{0}));
+  std::vector<std::uint8_t> keep(n);
+  parallel_for(sched, 0, n,
+               [&](std::size_t i) { keep[i] = pred(i) ? 1 : 0; });
+  std::vector<std::size_t> offsets(n);
+  const std::size_t total = scan_exclusive(
+      sched, keep.begin(), offsets.begin(), n, std::size_t{0},
+      [](std::size_t a, auto b) { return a + static_cast<std::size_t>(b); });
+  std::vector<value_type> out(total);
+  parallel_for(sched, 0, n, [&](std::size_t i) {
+    if (keep[i]) out[offsets[i]] = gen(i);
+  });
+  return out;
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,65 @@
+// Granularity-controlled parallel loops over a scheduler.
+//
+// The toolkit mirrors Parlay's surface: every algorithm takes the scheduler
+// as an explicit template parameter so the fork/join hot path stays fully
+// inlined per policy, and granularity defaults keep per-task work large
+// enough that scheduling overhead (the very thing the paper measures)
+// stays a realistic fraction of total work.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace lcws::par {
+
+// Default sequential block size for a loop of n iterations on P workers:
+// enough blocks for balance (8 per worker) without drowning in tasks.
+inline std::size_t default_grain(std::size_t n, std::size_t workers) noexcept {
+  const std::size_t target_tasks = 8 * workers;
+  return std::max<std::size_t>(1, std::min<std::size_t>(2048, n / std::max<std::size_t>(1, target_tasks)));
+}
+
+namespace detail {
+
+template <typename Sched, typename F>
+void parallel_for_rec(Sched& sched, std::size_t lo, std::size_t hi,
+                      std::size_t grain, const F& f) {
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  sched.pardo([&] { parallel_for_rec(sched, lo, mid, grain, f); },
+              [&] { parallel_for_rec(sched, mid, hi, grain, f); });
+}
+
+}  // namespace detail
+
+// Applies f(i) for every i in [lo, hi). grain == 0 picks a default.
+template <typename Sched, typename F>
+void parallel_for(Sched& sched, std::size_t lo, std::size_t hi, F&& f,
+                  std::size_t grain = 0) {
+  if (hi <= lo) return;
+  if (grain == 0) grain = default_grain(hi - lo, sched.num_workers());
+  detail::parallel_for_rec(sched, lo, hi, grain, f);
+}
+
+// Applies f(block_lo, block_hi) over contiguous blocks of ~grain
+// iterations; useful when the body wants to amortize per-call state.
+template <typename Sched, typename F>
+void parallel_for_blocked(Sched& sched, std::size_t lo, std::size_t hi,
+                          F&& f, std::size_t grain = 0) {
+  if (hi <= lo) return;
+  if (grain == 0) grain = default_grain(hi - lo, sched.num_workers());
+  const std::size_t nblocks = (hi - lo + grain - 1) / grain;
+  parallel_for(
+      sched, 0, nblocks,
+      [&](std::size_t b) {
+        const std::size_t block_lo = lo + b * grain;
+        const std::size_t block_hi = std::min(hi, block_lo + grain);
+        f(block_lo, block_hi);
+      },
+      1);
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,43 @@
+// N-way fork-join: run any number of callables in parallel, returning when
+// all have finished. Built as a balanced binary pardo tree.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <utility>
+
+namespace lcws::par {
+
+namespace detail {
+
+template <typename Sched, typename Tuple>
+void invoke_range(Sched& sched, Tuple& fs, std::size_t lo, std::size_t hi);
+
+template <typename Tuple, std::size_t... Is>
+void invoke_one(Tuple& fs, std::size_t index, std::index_sequence<Is...>) {
+  // Dispatch the runtime index to the matching tuple element.
+  ((index == Is ? (void)std::get<Is>(fs)() : (void)0), ...);
+}
+
+template <typename Sched, typename Tuple>
+void invoke_range(Sched& sched, Tuple& fs, std::size_t lo, std::size_t hi) {
+  constexpr std::size_t arity = std::tuple_size_v<Tuple>;
+  if (hi - lo == 1) {
+    invoke_one(fs, lo, std::make_index_sequence<arity>{});
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  sched.pardo([&] { invoke_range(sched, fs, lo, mid); },
+              [&] { invoke_range(sched, fs, mid, hi); });
+}
+
+}  // namespace detail
+
+template <typename Sched, typename... Fs>
+void parallel_invoke(Sched& sched, Fs&&... fs) {
+  static_assert(sizeof...(Fs) >= 1);
+  auto tuple = std::forward_as_tuple(std::forward<Fs>(fs)...);
+  detail::invoke_range(sched, tuple, 0, sizeof...(Fs));
+}
+
+}  // namespace lcws::par

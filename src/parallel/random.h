@@ -1,0 +1,31 @@
+// Deterministic parallel random-data generation: element i is a pure
+// function of (seed, i), so results are independent of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "support/rng.h"
+
+namespace lcws::par {
+
+// v[i] = hash64(seed, i) reduced to [0, bound); bound == 0 means full range.
+template <typename Sched, typename U>
+void random_fill(Sched& sched, std::vector<U>& v, std::uint64_t seed,
+                 std::uint64_t bound = 0) {
+  parallel_for(sched, 0, v.size(), [&](std::size_t i) {
+    const std::uint64_t r = hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    v[i] = static_cast<U>(bound == 0 ? r : r % bound);
+  });
+}
+
+// Deterministic double in [0, 1) per index.
+inline double random_double(std::uint64_t seed, std::uint64_t i) noexcept {
+  return static_cast<double>(hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))) >>
+                             11) *
+         0x1.0p-53;
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,86 @@
+// Parallel reduction and map-reduce.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <utility>
+
+#include "parallel/parallel_for.h"
+
+namespace lcws::par {
+
+namespace detail {
+
+template <typename Sched, typename It, typename T, typename Map,
+          typename Combine>
+T map_reduce_rec(Sched& sched, It first, std::size_t lo, std::size_t hi,
+                 const T& identity, const Map& map, const Combine& combine,
+                 std::size_t grain) {
+  if (hi - lo <= grain) {
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(first[i]));
+    return acc;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  T left{}, right{};
+  sched.pardo(
+      [&] {
+        left = map_reduce_rec(sched, first, lo, mid, identity, map, combine,
+                              grain);
+      },
+      [&] {
+        right = map_reduce_rec(sched, first, mid, hi, identity, map, combine,
+                               grain);
+      });
+  return combine(left, right);
+}
+
+}  // namespace detail
+
+// reduce(combine(map(x_i))) over [first, first + n). `combine` must be
+// associative with identity `identity`.
+template <typename Sched, typename It, typename T, typename Map,
+          typename Combine>
+T map_reduce(Sched& sched, It first, std::size_t n, T identity, Map&& map,
+             Combine&& combine, std::size_t grain = 0) {
+  if (n == 0) return identity;
+  if (grain == 0) grain = default_grain(n, sched.num_workers());
+  return detail::map_reduce_rec(sched, first, 0, n, identity, map, combine,
+                                grain);
+}
+
+// Plain reduction with an associative operator.
+template <typename Sched, typename It, typename T, typename Combine>
+T reduce(Sched& sched, It first, std::size_t n, T identity,
+         Combine&& combine, std::size_t grain = 0) {
+  using value_type = typename std::iterator_traits<It>::value_type;
+  return map_reduce(
+      sched, first, n, identity, [](const value_type& x) { return T(x); },
+      std::forward<Combine>(combine), grain);
+}
+
+// Convenience: parallel sum.
+template <typename T, typename Sched, typename It>
+T sum(Sched& sched, It first, std::size_t n) {
+  return reduce(sched, first, n, T{}, std::plus<T>{});
+}
+
+// Parallel count of elements satisfying a predicate.
+template <typename Sched, typename It, typename Pred>
+std::size_t count_if(Sched& sched, It first, std::size_t n, Pred&& pred) {
+  using value_type = typename std::iterator_traits<It>::value_type;
+  return map_reduce(
+      sched, first, n, std::size_t{0},
+      [&](const value_type& x) -> std::size_t { return pred(x) ? 1 : 0; },
+      std::plus<std::size_t>{});
+}
+
+// Parallel max (returns identity on empty input).
+template <typename Sched, typename It, typename T>
+T max_value(Sched& sched, It first, std::size_t n, T identity) {
+  return reduce(sched, first, n, identity,
+                [](const T& a, const T& b) { return a < b ? b : a; });
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,81 @@
+// Parallel exclusive scan (prefix sums), blocked two-pass algorithm:
+//   pass 1: per-block sums in parallel,
+//   middle: sequential exclusive scan over the (few) block sums,
+//   pass 2: per-block exclusive scan seeded with the block offset.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace lcws::par {
+
+// Exclusive scan of in[0, n) into out[0, n) (in == out allowed); returns
+// the grand total. `combine` must be associative with identity `identity`,
+// and callable both as combine(T, element) and combine(T, T) — the second
+// form combines per-block partial sums.
+template <typename Sched, typename InIt, typename OutIt, typename T,
+          typename Combine>
+T scan_exclusive(Sched& sched, InIt in, OutIt out, std::size_t n, T identity,
+                 Combine combine, std::size_t grain = 0) {
+  if (n == 0) return identity;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(
+        default_grain(n, sched.num_workers()), 64);
+  }
+  const std::size_t nblocks = (n + grain - 1) / grain;
+  if (nblocks == 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      const T next = combine(acc, in[i]);
+      out[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+
+  std::vector<T> block_sums(nblocks);
+  parallel_for(
+      sched, 0, nblocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * grain;
+        const std::size_t hi = std::min(n, lo + grain);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, in[i]);
+        block_sums[b] = acc;
+      },
+      1);
+
+  T total = identity;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const T next = combine(total, block_sums[b]);
+    block_sums[b] = total;
+    total = next;
+  }
+
+  parallel_for(
+      sched, 0, nblocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * grain;
+        const std::size_t hi = std::min(n, lo + grain);
+        T acc = block_sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const T next = combine(acc, in[i]);
+          out[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+// Exclusive prefix sums with +.
+template <typename Sched, typename InIt, typename OutIt, typename T>
+T scan_add(Sched& sched, InIt in, OutIt out, std::size_t n, T identity = T{}) {
+  return scan_exclusive(sched, in, out, n, identity, std::plus<T>{});
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,61 @@
+// Parallel comparison sort: recursive merge sort with ping-pong buffers
+// and a sequential std::sort base case (PBBS's comparisonSort stand-in).
+// Not stable (the parallel merge swaps range roles for balance).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/merge.h"
+
+namespace lcws::par {
+
+namespace detail {
+
+// Sorts src[0, n); the result lands in src if inplace, else in scratch.
+template <typename Sched, typename It, typename Cmp>
+void sort_rec(Sched& sched, It src, It scratch, std::size_t n, bool inplace,
+              Cmp cmp, std::size_t grain) {
+  if (n <= grain) {
+    std::sort(src, src + n, cmp);
+    if (!inplace) std::copy(src, src + n, scratch);
+    return;
+  }
+  const std::size_t mid = n / 2;
+  // Children deliver into the opposite buffer; the merge brings the halves
+  // back into the requested destination.
+  sched.pardo(
+      [&] { sort_rec(sched, src, scratch, mid, !inplace, cmp, grain); },
+      [&] {
+        sort_rec(sched, src + mid, scratch + mid, n - mid, !inplace, cmp,
+                 grain);
+      });
+  if (inplace) {
+    merge(sched, scratch, mid, scratch + mid, n - mid, src, cmp);
+  } else {
+    merge(sched, src, mid, src + mid, n - mid, scratch, cmp);
+  }
+}
+
+}  // namespace detail
+
+// Sorts [first, first + n) in place.
+template <typename Sched, typename It, typename Cmp = std::less<>>
+void sort(Sched& sched, It first, std::size_t n, Cmp cmp = {},
+          std::size_t grain = 4096) {
+  if (n <= 1) return;
+  using value_type = typename std::iterator_traits<It>::value_type;
+  std::vector<value_type> scratch(n);
+  detail::sort_rec(sched, first, scratch.begin(), n, /*inplace=*/true, cmp,
+                   grain);
+}
+
+template <typename Sched, typename T, typename Cmp = std::less<>>
+void sort(Sched& sched, std::vector<T>& v, Cmp cmp = {},
+          std::size_t grain = 4096) {
+  sort(sched, v.begin(), v.size(), cmp, grain);
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,55 @@
+// Parallel tokenization: split a text into delimiter-separated tokens (the
+// first stage of PBBS's text workloads). Token boundaries are found with
+// two parallel packs (starts and ends), which pair up positionally because
+// starts and ends strictly alternate.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+
+namespace lcws::par {
+
+// Splits `text` at characters where is_delim(c) holds; returns views into
+// `text` (which must outlive the result). Empty tokens never occur.
+template <typename Sched, typename Pred>
+std::vector<std::string_view> tokens(Sched& sched, std::string_view text,
+                                     Pred is_delim) {
+  const std::size_t n = text.size();
+  if (n == 0) return {};
+  // Position i starts a token iff it is a non-delimiter preceded by a
+  // delimiter (or the text start); it ends one (exclusive) iff it is a
+  // delimiter preceded by a non-delimiter. One virtual end at n.
+  auto starts = pack_index(
+      sched, n,
+      [&](std::size_t i) {
+        return !is_delim(text[i]) && (i == 0 || is_delim(text[i - 1]));
+      },
+      [](std::size_t i) { return i; });
+  auto ends = pack_index(
+      sched, n,
+      [&](std::size_t i) {
+        return is_delim(text[i]) && i > 0 && !is_delim(text[i - 1]);
+      },
+      [](std::size_t i) { return i; });
+  if (ends.size() < starts.size()) ends.push_back(n);  // text ends mid-token
+
+  std::vector<std::string_view> out(starts.size());
+  parallel_for(sched, 0, starts.size(), [&](std::size_t k) {
+    out[k] = text.substr(starts[k], ends[k] - starts[k]);
+  });
+  return out;
+}
+
+// Whitespace tokenizer.
+template <typename Sched>
+std::vector<std::string_view> tokens(Sched& sched, std::string_view text) {
+  return tokens(sched, text, [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  });
+}
+
+}  // namespace lcws::par

@@ -1,0 +1,163 @@
+// PBBS benchmark: breadthFirstSearch — frontier-based parallel BFS with
+// CAS-claimed parents.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/graph.h"
+#include "pbbs/graph_gen.h"
+
+namespace lcws::pbbs {
+
+struct bfs_bench {
+  static constexpr const char* name = "breadthFirstSearch";
+
+  static constexpr std::uint32_t unreached =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct input {
+    std::shared_ptr<graph> g;
+    vertex_id source = 0;
+    // backForwardBFS (the direction-optimizing variant the paper names in
+    // §5.2): switch to bottom-up sweeps when the frontier is large.
+    bool back_forward = false;
+  };
+  struct output {
+    std::vector<std::uint32_t> distance;  // unreached where not reachable
+  };
+
+  static std::vector<std::string> instances() {
+    return {"rMatGraph", "randLocalGraph", "3Dgrid",
+            "backForwardBFS_rMatGraph", "backForwardBFS_3Dgrid"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "rMatGraph") {
+      return {std::make_shared<graph>(rmat_graph(n / 8, n)), 0, false};
+    }
+    if (instance == "randLocalGraph") {
+      return {std::make_shared<graph>(rand_local_graph(n / 8)), 0, false};
+    }
+    if (instance == "3Dgrid") {
+      return {std::make_shared<graph>(grid3d_graph(n / 4)), 0, false};
+    }
+    if (instance == "backForwardBFS_rMatGraph") {
+      return {std::make_shared<graph>(rmat_graph(n / 8, n)), 0, true};
+    }
+    if (instance == "backForwardBFS_3Dgrid") {
+      return {std::make_shared<graph>(grid3d_graph(n / 4)), 0, true};
+    }
+    throw std::invalid_argument("breadthFirstSearch: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const graph& g = *in.g;
+    const std::size_t n = g.num_vertices();
+    std::vector<std::atomic<std::uint32_t>> dist(n);
+    output out;
+    out.distance.assign(n, unreached);
+    if (n == 0) return out;
+
+    sched.run([&] {
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        dist[v].store(unreached, std::memory_order_relaxed);
+      });
+      dist[in.source].store(0, std::memory_order_relaxed);
+      std::vector<vertex_id> frontier{in.source};
+      std::uint32_t level = 0;
+      while (!frontier.empty()) {
+        ++level;
+        if (in.back_forward && frontier.size() > n / 20) {
+          // Bottom-up sweep: every unreached vertex adopts the new level
+          // if any neighbour sits on the current frontier. No CAS needed —
+          // each vertex writes only its own distance.
+          std::vector<vertex_id> next = par::pack_index(
+              sched, n,
+              [&](std::size_t v) {
+                if (dist[v].load(std::memory_order_relaxed) != unreached) {
+                  return false;
+                }
+                for (const vertex_id w : g.neighbors(
+                         static_cast<vertex_id>(v))) {
+                  if (dist[w].load(std::memory_order_relaxed) == level - 1) {
+                    dist[v].store(level, std::memory_order_relaxed);
+                    return true;
+                  }
+                }
+                return false;
+              },
+              [](std::size_t v) { return static_cast<vertex_id>(v); });
+          frontier = std::move(next);
+          continue;
+        }
+        // Degree-prefix offsets for this frontier's edge expansion.
+        std::vector<std::size_t> degrees(frontier.size());
+        par::parallel_for(sched, 0, frontier.size(), [&](std::size_t f) {
+          degrees[f] = g.degree(frontier[f]);
+        });
+        std::vector<std::size_t> offsets(frontier.size());
+        const std::size_t total =
+            par::scan_add(sched, degrees.begin(), offsets.begin(),
+                          frontier.size(), std::size_t{0});
+        // Claim next-level vertices with CAS; unclaimed slots stay as a
+        // sentinel and are packed out.
+        std::vector<vertex_id> next(total, static_cast<vertex_id>(-1));
+        par::parallel_for(sched, 0, frontier.size(), [&](std::size_t f) {
+          const vertex_id v = frontier[f];
+          std::size_t slot = offsets[f];
+          for (const vertex_id w : g.neighbors(v)) {
+            std::uint32_t expected = unreached;
+            if (dist[w].load(std::memory_order_relaxed) == unreached &&
+                dist[w].compare_exchange_strong(expected, level,
+                                                std::memory_order_relaxed,
+                                                std::memory_order_relaxed)) {
+              next[slot] = w;
+            }
+            ++slot;
+          }
+        });
+        frontier = par::filter(sched, next.begin(), next.size(),
+                               [](vertex_id w) {
+                                 return w != static_cast<vertex_id>(-1);
+                               });
+      }
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        out.distance[v] = dist[v].load(std::memory_order_relaxed);
+      });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    const graph& g = *in.g;
+    std::vector<std::uint32_t> expected(g.num_vertices(), unreached);
+    std::queue<vertex_id> q;
+    expected[in.source] = 0;
+    q.push(in.source);
+    while (!q.empty()) {
+      const vertex_id v = q.front();
+      q.pop();
+      for (const vertex_id w : g.neighbors(v)) {
+        if (expected[w] == unreached) {
+          expected[w] = expected[v] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return out.distance == expected;
+  }
+};
+
+}  // namespace lcws::pbbs

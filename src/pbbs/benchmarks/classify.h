@@ -1,0 +1,297 @@
+// PBBS benchmark: classify (decisionTree) — train a CART-style decision
+// tree on a covtype-like table of continuous features. This is one of the
+// two configurations the paper's Section 5.2 singles out as pathological
+// for signal-based LCWS ("a disproportionately high number of steals"):
+// split evaluation forks across features while node recursion forks across
+// children, creating many small irregular tasks.
+//
+// Data is synthetic: labels come from a hidden random tree over the
+// features plus label noise, so a correct learner provably can (and a
+// broken one provably cannot) reach high training accuracy.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+struct classify_bench {
+  static constexpr const char* name = "classify";
+
+  static constexpr std::size_t n_features = 10;
+  static constexpr std::size_t n_classes = 4;
+  static constexpr std::size_t n_thresholds = 8;  // split candidates/feature
+  static constexpr unsigned max_depth = 8;
+  static constexpr std::size_t min_node = 64;
+
+  struct input {
+    std::vector<float> features;       // row-major n x n_features
+    std::vector<std::uint8_t> labels;  // [0, n_classes)
+    std::size_t rows = 0;
+
+    float at(std::size_t row, std::size_t feature) const noexcept {
+      return features[row * n_features + feature];
+    }
+  };
+
+  // Flat tree: node 0 is the root; leaves have feature == -1.
+  struct tree_node {
+    std::int32_t feature = -1;
+    float threshold = 0;
+    std::int32_t left = -1;   // feature value <  threshold
+    std::int32_t right = -1;  // feature value >= threshold
+    std::uint8_t leaf_class = 0;
+  };
+  struct output {
+    std::vector<tree_node> tree;
+
+    std::uint8_t predict(const input& in, std::size_t row) const {
+      std::int32_t node = 0;
+      while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+        const auto& nd = tree[static_cast<std::size_t>(node)];
+        node = in.at(row, static_cast<std::size_t>(nd.feature)) <
+                       nd.threshold
+                   ? nd.left
+                   : nd.right;
+      }
+      return tree[static_cast<std::size_t>(node)].leaf_class;
+    }
+  };
+
+  static std::vector<std::string> instances() { return {"covtype_like"}; }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance != "covtype_like") {
+      throw std::invalid_argument("classify: unknown instance " +
+                                  std::string(instance));
+    }
+    input in;
+    in.rows = std::max<std::size_t>(n, 256);
+    in.features.resize(in.rows * n_features);
+    in.labels.resize(in.rows);
+    xoshiro256 rng(60);
+    for (auto& f : in.features) f = static_cast<float>(rng.uniform());
+    // Hidden depth-4 tree labels the data.
+    struct hidden {
+      std::size_t feature;
+      float threshold;
+    };
+    std::array<hidden, 15> gates;  // complete binary tree, 4 levels
+    for (auto& g : gates) {
+      g = {rng.bounded(n_features),
+           0.2f + 0.6f * static_cast<float>(rng.uniform())};
+    }
+    std::array<std::uint8_t, 16> leaf_class;
+    for (auto& c : leaf_class) {
+      c = static_cast<std::uint8_t>(rng.bounded(n_classes));
+    }
+    for (std::size_t r = 0; r < in.rows; ++r) {
+      std::size_t node = 0;
+      for (int level = 0; level < 4; ++level) {
+        const auto& g = gates[node];
+        node = 2 * node + (in.at(r, g.feature) < g.threshold ? 1 : 2);
+      }
+      std::uint8_t label = leaf_class[node - 15];
+      if (rng.bounded(20) == 0) {  // 5% label noise
+        label = static_cast<std::uint8_t>(rng.bounded(n_classes));
+      }
+      in.labels[r] = label;
+    }
+    return in;
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    output out;
+    out.tree.reserve(512);
+    sched.run([&] {
+      std::vector<std::uint32_t> rows(in.rows);
+      par::parallel_for(sched, 0, in.rows, [&](std::size_t r) {
+        rows[r] = static_cast<std::uint32_t>(r);
+      });
+      build(sched, in, std::move(rows), 0, out.tree);
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    if (out.tree.empty()) return false;
+    // Structural sanity: children indices in range, thresholds in (0,1).
+    for (const auto& nd : out.tree) {
+      if (nd.feature >= 0) {
+        if (nd.left < 0 || nd.right < 0 ||
+            nd.left >= static_cast<std::int32_t>(out.tree.size()) ||
+            nd.right >= static_cast<std::int32_t>(out.tree.size())) {
+          return false;
+        }
+      } else if (nd.leaf_class >= n_classes) {
+        return false;
+      }
+    }
+    // Learnability: the hidden tree is depth 4 over axis-aligned splits,
+    // so a depth-8 CART must beat the majority class decisively despite
+    // the 5% label noise.
+    std::vector<std::size_t> class_count(n_classes, 0);
+    for (const auto c : in.labels) ++class_count[c];
+    const double majority =
+        static_cast<double>(
+            *std::max_element(class_count.begin(), class_count.end())) /
+        static_cast<double>(in.rows);
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < in.rows; ++r) {
+      correct += out.predict(in, r) == in.labels[r];
+    }
+    const double accuracy =
+        static_cast<double>(correct) / static_cast<double>(in.rows);
+    return accuracy >= 0.80 && accuracy > majority + 0.02;
+  }
+
+ private:
+  struct split_score {
+    double gain = -1;
+    std::size_t feature = 0;
+    float threshold = 0;
+  };
+
+  static double gini(const std::array<std::size_t, n_classes>& counts,
+                     std::size_t total) {
+    if (total == 0) return 0;
+    double impurity = 1.0;
+    for (const auto c : counts) {
+      const double p = static_cast<double>(c) / static_cast<double>(total);
+      impurity -= p * p;
+    }
+    return impurity;
+  }
+
+  // Appends the subtree over `rows` to `tree`, returning its root index.
+  // Children of one node are built with pardo; split evaluation forks over
+  // features.
+  template <typename Sched>
+  static std::int32_t build(Sched& sched, const input& in,
+                            std::vector<std::uint32_t> rows, unsigned depth,
+                            std::vector<tree_node>& tree) {
+    std::array<std::size_t, n_classes> counts{};
+    for (const auto r : rows) ++counts[in.labels[r]];
+    const std::uint8_t majority = static_cast<std::uint8_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    const bool pure = counts[majority] == rows.size();
+
+    if (pure || depth >= max_depth || rows.size() < min_node) {
+      tree.push_back({-1, 0, -1, -1, majority});
+      return static_cast<std::int32_t>(tree.size() - 1);
+    }
+
+    // Evaluate candidate splits: every feature in parallel, a quantile
+    // grid of thresholds per feature.
+    const double parent_impurity = gini(counts, rows.size());
+    std::vector<split_score> best_per_feature(n_features);
+    par::parallel_for(
+        sched, 0, n_features,
+        [&](std::size_t f) {
+          split_score best;
+          for (std::size_t t = 1; t <= n_thresholds; ++t) {
+            const float threshold =
+                static_cast<float>(t) / (n_thresholds + 1);
+            std::array<std::size_t, n_classes> left{};
+            std::size_t n_left = 0;
+            for (const auto r : rows) {
+              if (in.at(r, f) < threshold) {
+                ++left[in.labels[r]];
+                ++n_left;
+              }
+            }
+            const std::size_t n_right = rows.size() - n_left;
+            if (n_left == 0 || n_right == 0) continue;
+            std::array<std::size_t, n_classes> right{};
+            for (std::size_t c = 0; c < n_classes; ++c) {
+              right[c] = counts[c] - left[c];
+            }
+            const double weighted =
+                (static_cast<double>(n_left) * gini(left, n_left) +
+                 static_cast<double>(n_right) * gini(right, n_right)) /
+                static_cast<double>(rows.size());
+            const double gain = parent_impurity - weighted;
+            if (gain > best.gain) best = {gain, f, threshold};
+          }
+          best_per_feature[f] = best;
+        },
+        1);
+    split_score best;
+    for (const auto& s : best_per_feature) {
+      if (s.gain > best.gain ||
+          (s.gain == best.gain && s.feature < best.feature)) {
+        best = s;
+      }
+    }
+    if (best.gain <= 1e-12) {
+      tree.push_back({-1, 0, -1, -1, majority});
+      return static_cast<std::int32_t>(tree.size() - 1);
+    }
+
+    auto left_rows = par::filter(sched, rows.begin(), rows.size(),
+                                 [&](std::uint32_t r) {
+                                   return in.at(r, best.feature) <
+                                          best.threshold;
+                                 });
+    auto right_rows = par::filter(sched, rows.begin(), rows.size(),
+                                  [&](std::uint32_t r) {
+                                    return in.at(r, best.feature) >=
+                                           best.threshold;
+                                  });
+    rows.clear();
+    rows.shrink_to_fit();
+
+    const auto index = static_cast<std::int32_t>(tree.size());
+    tree.push_back({static_cast<std::int32_t>(best.feature), best.threshold,
+                    -1, -1, majority});
+    // Children must append to `tree` sequentially (shared vector), so
+    // build them into private vectors in parallel and splice. Splicing
+    // renumbers child indices by a fixed offset.
+    std::vector<tree_node> left_sub, right_sub;
+    sched.pardo(
+        [&] {
+          left_sub = build_subtree(sched, in, std::move(left_rows),
+                                   depth + 1);
+        },
+        [&] {
+          right_sub = build_subtree(sched, in, std::move(right_rows),
+                                    depth + 1);
+        });
+    const auto splice = [&tree](std::vector<tree_node>& sub) {
+      const auto offset = static_cast<std::int32_t>(tree.size());
+      for (auto nd : sub) {
+        if (nd.feature >= 0) {
+          nd.left += offset;
+          nd.right += offset;
+        }
+        tree.push_back(nd);
+      }
+      return offset;  // subtree root was local index 0
+    };
+    tree[static_cast<std::size_t>(index)].left = splice(left_sub);
+    tree[static_cast<std::size_t>(index)].right = splice(right_sub);
+    return index;
+  }
+
+  template <typename Sched>
+  static std::vector<tree_node> build_subtree(Sched& sched, const input& in,
+                                              std::vector<std::uint32_t> rows,
+                                              unsigned depth) {
+    std::vector<tree_node> sub;
+    build(sched, in, std::move(rows), depth, sub);
+    return sub;
+  }
+};
+
+}  // namespace lcws::pbbs

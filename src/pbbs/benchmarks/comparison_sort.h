@@ -1,0 +1,56 @@
+// PBBS benchmark: comparisonSort (doubles under std::less).
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/sort.h"
+#include "pbbs/sequence_gen.h"
+
+namespace lcws::pbbs {
+
+struct comparison_sort_bench {
+  static constexpr const char* name = "comparisonSort";
+
+  struct input {
+    std::vector<double> data;
+  };
+  struct output {
+    std::vector<double> sorted;
+  };
+
+  static std::vector<std::string> instances() {
+    return {"randomSeq_double", "exptSeq_double", "almostSortedSeq_double"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "randomSeq_double") return {random_double_seq(n)};
+    if (instance == "exptSeq_double") return {expt_double_seq(n)};
+    if (instance == "almostSortedSeq_double") {
+      const auto ints = almost_sorted_seq(n);
+      std::vector<double> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(ints[i]);
+      return {std::move(v)};
+    }
+    throw std::invalid_argument("comparisonSort: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    auto v = in.data;
+    sched.run([&] { par::sort(sched, v); });
+    return {std::move(v)};
+  }
+
+  static bool check(const input& in, const output& out) {
+    auto expected = in.data;
+    std::sort(expected.begin(), expected.end());
+    return out.sorted == expected;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,201 @@
+// PBBS benchmark: convexHull — parallel 2D quickhull.
+//
+// Find the x-extremes, split the points into the two half-planes, then
+// recursively: pick the farthest point from the chord, filter the points
+// outside the two new chords in parallel, recurse on both sides with
+// pardo.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+#include "pbbs/geometry.h"
+#include "pbbs/point_gen.h"
+
+namespace lcws::pbbs {
+
+struct convex_hull_bench {
+  static constexpr const char* name = "convexHull";
+
+  struct input {
+    std::vector<point2d> points;
+  };
+  struct output {
+    std::vector<std::uint32_t> hull;  // indices, counter-clockwise
+  };
+
+  static std::vector<std::string> instances() {
+    return {"2DinSphere", "2DinCube", "2Dkuzmin"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "2DinSphere") return {points_in_sphere_2d(n)};
+    if (instance == "2DinCube") return {points_in_cube_2d(n)};
+    if (instance == "2Dkuzmin") return {points_kuzmin_2d(n)};
+    throw std::invalid_argument("convexHull: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const auto& pts = in.points;
+    const std::size_t n = pts.size();
+    output out;
+    if (n < 3) {
+      for (std::uint32_t i = 0; i < n; ++i) out.hull.push_back(i);
+      return out;
+    }
+    sched.run([&] {
+      // Extremes by x (ties by y): a parallel index reduction.
+      const auto cmp_idx = [&](std::uint32_t a, std::uint32_t b) {
+        if (pts[a].x != pts[b].x) return pts[a].x < pts[b].x;
+        return pts[a].y < pts[b].y;
+      };
+      std::vector<std::uint32_t> idx(n);
+      par::parallel_for(sched, 0, n, [&](std::size_t i) {
+        idx[i] = static_cast<std::uint32_t>(i);
+      });
+      const std::uint32_t leftmost = par::reduce(
+          sched, idx.begin(), n, std::uint32_t{0},
+          [&](std::uint32_t a, std::uint32_t b) {
+            return cmp_idx(a, b) ? a : b;
+          });
+      const std::uint32_t rightmost = par::reduce(
+          sched, idx.begin(), n, leftmost,
+          [&](std::uint32_t a, std::uint32_t b) {
+            return cmp_idx(a, b) ? b : a;
+          });
+      // Split into strictly-above / strictly-below the chord.
+      auto upper = par::filter(sched, idx.begin(), n, [&](std::uint32_t i) {
+        return cross(pts[leftmost], pts[rightmost], pts[i]) > 0;
+      });
+      auto lower = par::filter(sched, idx.begin(), n, [&](std::uint32_t i) {
+        return cross(pts[rightmost], pts[leftmost], pts[i]) > 0;
+      });
+      std::vector<std::uint32_t> upper_hull, lower_hull;
+      sched.pardo(
+          [&] {
+            upper_hull = quickhull(sched, pts, std::move(upper), leftmost,
+                                   rightmost);
+          },
+          [&] {
+            lower_hull = quickhull(sched, pts, std::move(lower), rightmost,
+                                   leftmost);
+          });
+      out.hull.reserve(upper_hull.size() + lower_hull.size() + 2);
+      out.hull.push_back(leftmost);
+      // quickhull returns the chain strictly between its endpoints, in
+      // order from `a` to `b`; `upper` is the left->right chain seen CCW
+      // from below... assemble CCW: left, lower chain, right, upper chain.
+      out.hull.insert(out.hull.end(), lower_hull.rbegin(), lower_hull.rend());
+      out.hull.push_back(rightmost);
+      out.hull.insert(out.hull.end(), upper_hull.rbegin(), upper_hull.rend());
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    const auto& pts = in.points;
+    const std::size_t h = out.hull.size();
+    if (pts.size() < 3) return h == pts.size();
+    if (h < 3) return false;
+    // Convexity and orientation: every consecutive triple turns the same
+    // way (allowing collinear).
+    for (std::size_t i = 0; i < h; ++i) {
+      const auto a = pts[out.hull[i]];
+      const auto b = pts[out.hull[(i + 1) % h]];
+      const auto c = pts[out.hull[(i + 2) % h]];
+      if (cross(a, b, c) < -1e-12) return false;
+    }
+    // Containment: no input point lies strictly outside any hull edge.
+    for (std::size_t i = 0; i < h; ++i) {
+      const auto a = pts[out.hull[i]];
+      const auto b = pts[out.hull[(i + 1) % h]];
+      for (const auto& p : pts) {
+        if (cross(a, b, p) < -1e-9) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  // Points strictly left of chord a->b, returns the hull chain between a
+  // and b (exclusive) ordered from b-side to a-side recursion; assembled
+  // by the caller.
+  template <typename Sched>
+  static std::vector<std::uint32_t> quickhull(
+      Sched& sched, const std::vector<point2d>& pts,
+      std::vector<std::uint32_t> candidates, std::uint32_t a,
+      std::uint32_t b) {
+    if (candidates.empty()) return {};
+    if (candidates.size() <= 256) {
+      return quickhull_seq(pts, std::move(candidates), a, b);
+    }
+    // Farthest point from the chord.
+    const std::uint32_t far = par::reduce(
+        sched, candidates.begin(), candidates.size(), candidates[0],
+        [&](std::uint32_t x, std::uint32_t y) {
+          const double cx = cross(pts[a], pts[b], pts[x]);
+          const double cy = cross(pts[a], pts[b], pts[y]);
+          return cx >= cy ? x : y;
+        });
+    auto left = par::filter(sched, candidates.begin(), candidates.size(),
+                            [&](std::uint32_t i) {
+                              return cross(pts[a], pts[far], pts[i]) > 0;
+                            });
+    auto right = par::filter(sched, candidates.begin(), candidates.size(),
+                             [&](std::uint32_t i) {
+                               return cross(pts[far], pts[b], pts[i]) > 0;
+                             });
+    candidates.clear();
+    candidates.shrink_to_fit();
+    std::vector<std::uint32_t> left_chain, right_chain;
+    sched.pardo(
+        [&] { left_chain = quickhull(sched, pts, std::move(left), a, far); },
+        [&] {
+          right_chain = quickhull(sched, pts, std::move(right), far, b);
+        });
+    // Chain ordered from a to b: left chain, far, right chain.
+    std::vector<std::uint32_t> chain;
+    chain.reserve(left_chain.size() + right_chain.size() + 1);
+    chain.insert(chain.end(), left_chain.begin(), left_chain.end());
+    chain.push_back(far);
+    chain.insert(chain.end(), right_chain.begin(), right_chain.end());
+    return chain;
+  }
+
+  static std::vector<std::uint32_t> quickhull_seq(
+      const std::vector<point2d>& pts, std::vector<std::uint32_t> candidates,
+      std::uint32_t a, std::uint32_t b) {
+    if (candidates.empty()) return {};
+    std::uint32_t far = candidates[0];
+    double best = cross(pts[a], pts[b], pts[far]);
+    for (const auto i : candidates) {
+      const double c = cross(pts[a], pts[b], pts[i]);
+      if (c > best) {
+        best = c;
+        far = i;
+      }
+    }
+    std::vector<std::uint32_t> left, right;
+    for (const auto i : candidates) {
+      if (cross(pts[a], pts[far], pts[i]) > 0) left.push_back(i);
+      if (cross(pts[far], pts[b], pts[i]) > 0) right.push_back(i);
+    }
+    auto chain = quickhull_seq(pts, std::move(left), a, far);
+    chain.push_back(far);
+    const auto rchain = quickhull_seq(pts, std::move(right), far, b);
+    chain.insert(chain.end(), rchain.begin(), rchain.end());
+    return chain;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,57 @@
+// PBBS benchmark: histogram. Instances: 100K buckets (the configuration
+// the paper calls out as USLCWS's worst case) and 256 buckets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/histogram.h"
+#include "pbbs/sequence_gen.h"
+
+namespace lcws::pbbs {
+
+struct histogram_bench {
+  static constexpr const char* name = "histogram";
+
+  struct input {
+    std::vector<std::uint64_t> data;
+    std::size_t buckets = 0;
+  };
+  struct output {
+    std::vector<std::uint64_t> counts;
+  };
+
+  static std::vector<std::string> instances() {
+    return {"randomSeq_100K_int", "randomSeq_256_int", "exptSeq_100K_int"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "randomSeq_100K_int") {
+      return {random_seq(n, 100000), 100000};
+    }
+    if (instance == "randomSeq_256_int") return {random_seq(n, 256), 256};
+    if (instance == "exptSeq_100K_int") return {expt_seq(n, 100000), 100000};
+    throw std::invalid_argument("histogram: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    auto counts = sched.run([&] {
+      return par::histogram(sched, in.data.begin(), in.data.size(),
+                            in.buckets);
+    });
+    return {std::move(counts)};
+  }
+
+  static bool check(const input& in, const output& out) {
+    std::vector<std::uint64_t> expected(in.buckets, 0);
+    for (const auto x : in.data) ++expected[x];
+    return out.counts == expected;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,110 @@
+// PBBS benchmark: integerSort.
+//
+// Instances mirror PBBS's: randomSeq_int, exptSeq_int,
+// randomSeq_int_pair_int (uniform key/value pairs), and
+// randomSeq_256_int_pair_int (256 distinct keys).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "parallel/integer_sort.h"
+#include "pbbs/sequence_gen.h"
+
+namespace lcws::pbbs {
+
+struct integer_sort_bench {
+  static constexpr const char* name = "integerSort";
+
+  using pair_t = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct input {
+    std::variant<std::vector<std::uint64_t>, std::vector<pair_t>> data;
+    unsigned key_bits = 0;
+  };
+  struct output {
+    std::variant<std::vector<std::uint64_t>, std::vector<pair_t>> sorted;
+  };
+
+  static std::vector<std::string> instances() {
+    return {"randomSeq_int", "exptSeq_int", "randomSeq_int_pair_int",
+            "randomSeq_256_int_pair_int", "exptSeq_int_pair_int"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "randomSeq_int") {
+      return {random_seq(n, std::uint64_t{1} << 27), 27};
+    }
+    if (instance == "exptSeq_int") {
+      return {expt_seq(n, std::uint64_t{1} << 27), 27};
+    }
+    if (instance == "randomSeq_int_pair_int") {
+      return {random_pair_seq(n, std::uint64_t{1} << 27), 27};
+    }
+    if (instance == "randomSeq_256_int_pair_int") {
+      return {random_pair_seq(n, 256), 8};
+    }
+    if (instance == "exptSeq_int_pair_int") {
+      const auto keys = expt_seq(n, std::uint64_t{1} << 27);
+      std::vector<pair_t> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = {keys[i], i};
+      return {std::move(v), 27};
+    }
+    throw std::invalid_argument("integerSort: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    output out;
+    if (const auto* flat = std::get_if<std::vector<std::uint64_t>>(&in.data)) {
+      auto v = *flat;
+      sched.run(
+          [&] { par::integer_sort(sched, v, in.key_bits); });
+      out.sorted = std::move(v);
+    } else {
+      auto v = std::get<std::vector<pair_t>>(in.data);
+      sched.run([&] {
+        par::integer_sort(sched, v,
+                          [](const pair_t& p) { return p.first; },
+                          in.key_bits);
+      });
+      out.sorted = std::move(v);
+    }
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    if (const auto* flat = std::get_if<std::vector<std::uint64_t>>(&in.data)) {
+      const auto& sorted = std::get<std::vector<std::uint64_t>>(out.sorted);
+      auto expected = *flat;
+      std::sort(expected.begin(), expected.end());
+      return sorted == expected;
+    }
+    const auto& pairs = std::get<std::vector<pair_t>>(in.data);
+    const auto& sorted = std::get<std::vector<pair_t>>(out.sorted);
+    if (sorted.size() != pairs.size()) return false;
+    // Keys sorted, stability (values ascending within equal keys, because
+    // make() used the index as value), permutation preserved.
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i - 1].first > sorted[i].first) return false;
+      if (sorted[i - 1].first == sorted[i].first &&
+          sorted[i - 1].second >= sorted[i].second) {
+        return false;
+      }
+    }
+    auto expected = pairs;
+    std::sort(expected.begin(), expected.end());
+    auto got = sorted;
+    std::sort(got.begin(), got.end());
+    return got == expected;
+  }
+};
+
+}  // namespace lcws::pbbs

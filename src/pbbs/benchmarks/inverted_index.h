@@ -1,0 +1,138 @@
+// PBBS benchmark: invertedIndex — build word -> sorted document-id posting
+// lists from a document collection.
+//
+// Pipeline: tokenize to (word-slot, doc) pairs in parallel (slots assigned
+// by the concurrent string counter), radix-sort the pairs, then cut the
+// sorted sequence into per-word postings with parallel boundary packs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parallel/hash_table.h"
+#include "parallel/integer_sort.h"
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/text_gen.h"
+
+namespace lcws::pbbs {
+
+struct inverted_index_bench {
+  static constexpr const char* name = "invertedIndex";
+
+  struct input {
+    // shared_ptr: posting words are views into the corpus text.
+    std::shared_ptr<document_corpus> docs;
+  };
+  struct posting {
+    std::string_view word;
+    std::vector<std::uint32_t> doc_ids;  // ascending, unique
+  };
+  struct output {
+    std::vector<posting> index;
+  };
+
+  static std::vector<std::string> instances() { return {"wikipedia"}; }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance != "wikipedia") {
+      throw std::invalid_argument("invertedIndex: unknown instance " +
+                                  std::string(instance));
+    }
+    return {std::make_shared<document_corpus>(document_collection(n))};
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const auto& corpus = in.docs->corpus;
+    const auto& docs = in.docs->docs;
+    const std::size_t n_words = corpus.words.size();
+
+    par::string_counter lexicon(corpus.text,
+                                std::max<std::size_t>(n_words / 4, 64));
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> tokens(n_words);
+    output out;
+    sched.run([&] {
+      // Tokenize: one task per document, assigning stable word slots.
+      par::parallel_for(sched, 0, docs.size(), [&](std::size_t d) {
+        for (std::size_t w = docs[d].first; w < docs[d].second; ++w) {
+          tokens[w] = {lexicon.add(corpus.words[w]), d};
+        }
+      });
+      // Group by word slot; the doc component stays in document order
+      // within each slot because radix sort is stable and tokens were
+      // produced doc-major... but tokenization tasks interleave, so sort
+      // by (slot, doc) via two stable passes: doc first, then slot.
+      unsigned slot_bits = 1;
+      while ((std::size_t{1} << slot_bits) < lexicon.capacity()) ++slot_bits;
+      unsigned doc_bits = 1;
+      while ((std::size_t{1} << doc_bits) < docs.size()) ++doc_bits;
+      par::integer_sort(
+          sched, tokens, [](const auto& t) { return t.second; }, doc_bits);
+      par::integer_sort(
+          sched, tokens, [](const auto& t) { return t.first; }, slot_bits);
+      // Positions starting a new (slot, doc) combination.
+      auto starts = par::pack_index(
+          sched, tokens.size(),
+          [&](std::size_t i) { return i == 0 || tokens[i] != tokens[i - 1]; },
+          [](std::size_t i) { return i; });
+      // Positions (within `starts`) beginning a new word.
+      auto word_starts = par::pack_index(
+          sched, starts.size(),
+          [&](std::size_t k) {
+            return k == 0 ||
+                   tokens[starts[k]].first != tokens[starts[k - 1]].first;
+          },
+          [](std::size_t k) { return k; });
+      out.index.resize(word_starts.size());
+      par::parallel_for(sched, 0, word_starts.size(), [&](std::size_t w) {
+        const std::size_t begin = word_starts[w];
+        const std::size_t end =
+            w + 1 < word_starts.size() ? word_starts[w + 1] : starts.size();
+        posting p;
+        p.word = lexicon.word_at(
+            static_cast<std::size_t>(tokens[starts[begin]].first));
+        p.doc_ids.reserve(end - begin);
+        for (std::size_t k = begin; k < end; ++k) {
+          p.doc_ids.push_back(
+              static_cast<std::uint32_t>(tokens[starts[k]].second));
+        }
+        out.index[w] = std::move(p);
+      });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    const auto& corpus = in.docs->corpus;
+    const auto& docs = in.docs->docs;
+    std::map<std::string_view, std::set<std::uint32_t>> expected;
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      for (std::size_t w = docs[d].first; w < docs[d].second; ++w) {
+        expected[corpus.words[w]].insert(static_cast<std::uint32_t>(d));
+      }
+    }
+    if (out.index.size() != expected.size()) return false;
+    for (const auto& p : out.index) {
+      const auto it = expected.find(p.word);
+      if (it == expected.end()) return false;
+      if (!std::is_sorted(p.doc_ids.begin(), p.doc_ids.end())) return false;
+      if (p.doc_ids.size() != it->second.size()) return false;
+      std::size_t k = 0;
+      for (const auto d : it->second) {
+        if (p.doc_ids[k++] != d) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace lcws::pbbs

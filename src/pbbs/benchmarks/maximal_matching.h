@@ -1,0 +1,156 @@
+// PBBS benchmark: maximalMatching — deterministic-reservations greedy
+// matching (Blelloch et al.): rounds of
+//   reserve:  every live edge writes its index into both endpoints via
+//             atomic fetch-min,
+//   commit:   an edge joins the matching iff it holds both endpoints,
+//   filter:   drop edges with a matched endpoint,
+// until no live edges remain. The result equals the sequential greedy
+// matching by edge index (determinism makes checking easy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/graph.h"
+#include "pbbs/graph_gen.h"
+
+namespace lcws::pbbs {
+
+struct maximal_matching_bench {
+  static constexpr const char* name = "maximalMatching";
+
+  struct input {
+    std::shared_ptr<graph> g;
+    std::vector<edge> edges;  // unique undirected edges, fixed order
+  };
+  struct output {
+    std::vector<std::uint32_t> matched_edges;  // indices into input.edges
+  };
+
+  static std::vector<std::string> instances() {
+    return {"rMatGraph", "randLocalGraph"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    std::shared_ptr<graph> g;
+    if (instance == "rMatGraph") {
+      g = std::make_shared<graph>(rmat_graph(n / 8, n));
+    } else if (instance == "randLocalGraph") {
+      g = std::make_shared<graph>(rand_local_graph(n / 8));
+    } else {
+      throw std::invalid_argument("maximalMatching: unknown instance " +
+                                  std::string(instance));
+    }
+    auto edges = g->undirected_edges();
+    return {std::move(g), std::move(edges)};
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const std::size_t n = in.g->num_vertices();
+    constexpr std::uint32_t kFree = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::atomic<std::uint32_t>> reservation(n);
+    std::vector<std::atomic<std::uint8_t>> matched_vertex(n);
+    output out;
+
+    sched.run([&] {
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        reservation[v].store(kFree, std::memory_order_relaxed);
+        matched_vertex[v].store(0, std::memory_order_relaxed);
+      });
+      // Live edge indices; shrinks every round.
+      std::vector<std::uint32_t> live(in.edges.size());
+      par::parallel_for(sched, 0, live.size(), [&](std::size_t i) {
+        live[i] = static_cast<std::uint32_t>(i);
+      });
+      std::vector<std::atomic<std::uint8_t>> won(in.edges.size());
+      par::parallel_for(sched, 0, in.edges.size(), [&](std::size_t i) {
+        won[i].store(0, std::memory_order_relaxed);
+      });
+
+      while (!live.empty()) {
+        // Reserve: fetch-min of the edge index on both endpoints.
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const std::uint32_t e = live[k];
+          for (const vertex_id v : {in.edges[e].u, in.edges[e].v}) {
+            std::uint32_t cur = reservation[v].load(std::memory_order_relaxed);
+            while (e < cur && !reservation[v].compare_exchange_weak(
+                                  cur, e, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+            }
+          }
+        });
+        // Commit: an edge that holds both endpoints matches them.
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const std::uint32_t e = live[k];
+          const auto [u, v] = in.edges[e];
+          if (reservation[u].load(std::memory_order_relaxed) == e &&
+              reservation[v].load(std::memory_order_relaxed) == e) {
+            won[e].store(1, std::memory_order_relaxed);
+            matched_vertex[u].store(1, std::memory_order_relaxed);
+            matched_vertex[v].store(1, std::memory_order_relaxed);
+          }
+        });
+        // Filter dead edges and clear surviving reservations for the next
+        // round.
+        auto next = par::filter(sched, live.begin(), live.size(),
+                                [&](std::uint32_t e) {
+                                  const auto [u, v] = in.edges[e];
+                                  return matched_vertex[u].load(
+                                             std::memory_order_relaxed) == 0 &&
+                                         matched_vertex[v].load(
+                                             std::memory_order_relaxed) == 0;
+                                });
+        par::parallel_for(sched, 0, next.size(), [&](std::size_t k) {
+          const auto [u, v] = in.edges[next[k]];
+          reservation[u].store(kFree, std::memory_order_relaxed);
+          reservation[v].store(kFree, std::memory_order_relaxed);
+        });
+        live = std::move(next);
+      }
+      out.matched_edges = par::pack_index(
+          sched, in.edges.size(),
+          [&](std::size_t e) {
+            return won[e].load(std::memory_order_relaxed) != 0;
+          },
+          [](std::size_t e) { return static_cast<std::uint32_t>(e); });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    // Validity: matched edges share no vertex.
+    std::vector<std::uint8_t> used(in.g->num_vertices(), 0);
+    for (const auto e : out.matched_edges) {
+      if (e >= in.edges.size()) return false;
+      const auto [u, v] = in.edges[e];
+      if (used[u] || used[v]) return false;
+      used[u] = used[v] = 1;
+    }
+    // Maximality: no remaining edge has both endpoints free.
+    for (const auto& e : in.edges) {
+      if (!used[e.u] && !used[e.v]) return false;
+    }
+    // Determinism: must equal greedy-by-index.
+    std::vector<std::uint8_t> greedy_used(in.g->num_vertices(), 0);
+    std::vector<std::uint32_t> greedy;
+    for (std::size_t i = 0; i < in.edges.size(); ++i) {
+      const auto [u, v] = in.edges[i];
+      if (!greedy_used[u] && !greedy_used[v]) {
+        greedy_used[u] = greedy_used[v] = 1;
+        greedy.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    return out.matched_edges == greedy;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,207 @@
+// PBBS benchmark: minSpanningForest — parallel Boruvka.
+//
+// Rounds: every component finds its minimum-weight outgoing edge via an
+// atomic fetch-min of (weight, edge-index) packed into one 64-bit word on
+// the component root; winners link smaller root under larger root (the
+// same acyclic-orientation trick as spanningForest); settled edges are
+// filtered out. Distinct weights (index-salted) make the MSF unique, so
+// checking against sequential Kruskal is exact.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/graph.h"
+#include "pbbs/graph_gen.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+struct min_spanning_forest_bench {
+  static constexpr const char* name = "minSpanningForest";
+
+  struct input {
+    std::shared_ptr<graph> g;
+    std::vector<edge> edges;
+    std::vector<std::uint32_t> weight;  // distinct per edge
+  };
+  struct output {
+    std::vector<std::uint32_t> forest_edges;  // indices into input.edges
+  };
+
+  static std::vector<std::string> instances() {
+    return {"rMatGraph", "randLocalGraph"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    std::shared_ptr<graph> g;
+    if (instance == "rMatGraph") {
+      g = std::make_shared<graph>(rmat_graph(n / 8, n));
+    } else if (instance == "randLocalGraph") {
+      g = std::make_shared<graph>(rand_local_graph(n / 8));
+    } else {
+      throw std::invalid_argument("minSpanningForest: unknown instance " +
+                                  std::string(instance));
+    }
+    auto edges = g->undirected_edges();
+    // Distinct weights: random high bits, edge index low bits.
+    std::vector<std::uint32_t> weight(edges.size());
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+      weight[i] = static_cast<std::uint32_t>((hash64(i ^ 0x5EED) % 4096)
+                                                 << 20 |
+                                             (i & 0xFFFFF));
+    }
+    return {std::move(g), std::move(edges), std::move(weight)};
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const std::size_t n = in.g->num_vertices();
+    constexpr std::uint64_t kNoEdge = ~std::uint64_t{0};
+    std::vector<std::atomic<vertex_id>> parent(n);
+    std::vector<std::atomic<std::uint64_t>> best(n);  // (weight<<32)|edge
+    std::vector<std::atomic<std::uint8_t>> in_forest(in.edges.size());
+    output out;
+
+    auto find_root = [&](vertex_id v) {
+      while (true) {
+        const vertex_id p = parent[v].load(std::memory_order_relaxed);
+        if (p == v) return v;
+        const vertex_id gp = parent[p].load(std::memory_order_relaxed);
+        parent[v].store(gp, std::memory_order_relaxed);
+        v = gp;
+      }
+    };
+    auto fetch_min = [&](std::atomic<std::uint64_t>& slot,
+                         std::uint64_t value) {
+      std::uint64_t cur = slot.load(std::memory_order_relaxed);
+      while (value < cur &&
+             !slot.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+      }
+    };
+
+    sched.run([&] {
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        parent[v].store(static_cast<vertex_id>(v),
+                        std::memory_order_relaxed);
+        best[v].store(kNoEdge, std::memory_order_relaxed);
+      });
+      par::parallel_for(sched, 0, in.edges.size(), [&](std::size_t e) {
+        in_forest[e].store(0, std::memory_order_relaxed);
+      });
+      std::vector<std::uint32_t> live(in.edges.size());
+      par::parallel_for(sched, 0, live.size(), [&](std::size_t i) {
+        live[i] = static_cast<std::uint32_t>(i);
+      });
+
+      while (!live.empty()) {
+        // Each live edge offers itself to both endpoint components.
+        std::vector<vertex_id> root_u(live.size()), root_v(live.size());
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const std::uint32_t e = live[k];
+          root_u[k] = find_root(in.edges[e].u);
+          root_v[k] = find_root(in.edges[e].v);
+          if (root_u[k] == root_v[k]) return;
+          const std::uint64_t packed =
+              (static_cast<std::uint64_t>(in.weight[e]) << 32) | e;
+          fetch_min(best[root_u[k]], packed);
+          fetch_min(best[root_v[k]], packed);
+        });
+        // Boruvka commit. An edge joins the forest iff it is the minimum
+        // edge of one of its endpoint components AND it wins the CAS that
+        // links the smaller root under the larger. The CAS lets each root
+        // link at most once per round (a losing edge stays live and is
+        // retried next round), and the strictly increasing orientation
+        // keeps each round's links acyclic. By the cut property (weights
+        // are distinct) every edge added this way is in the unique MSF.
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const std::uint32_t e = live[k];
+          vertex_id a = root_u[k], b = root_v[k];
+          if (a == b) return;
+          if (a > b) std::swap(a, b);
+          const std::uint64_t packed =
+              (static_cast<std::uint64_t>(in.weight[e]) << 32) | e;
+          const bool min_of_a =
+              best[a].load(std::memory_order_relaxed) == packed;
+          const bool min_of_b =
+              best[b].load(std::memory_order_relaxed) == packed;
+          if (!min_of_a && !min_of_b) return;
+          vertex_id expected_root = a;
+          if (parent[a].compare_exchange_strong(expected_root, b,
+                                                std::memory_order_relaxed,
+                                                std::memory_order_relaxed)) {
+            in_forest[e].store(1, std::memory_order_relaxed);
+          }
+        });
+        live = par::filter(sched, live.begin(), live.size(),
+                           [&](std::uint32_t e) {
+                             return in_forest[e].load(
+                                        std::memory_order_relaxed) == 0 &&
+                                    find_root(in.edges[e].u) !=
+                                        find_root(in.edges[e].v);
+                           });
+        // Reset the best slots of surviving roots for the next round.
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const auto [u, v] = in.edges[live[k]];
+          best[find_root(u)].store(kNoEdge, std::memory_order_relaxed);
+          best[find_root(v)].store(kNoEdge, std::memory_order_relaxed);
+        });
+      }
+      out.forest_edges = par::pack_index(
+          sched, in.edges.size(),
+          [&](std::size_t e) {
+            return in_forest[e].load(std::memory_order_relaxed) != 0;
+          },
+          [](std::size_t e) { return static_cast<std::uint32_t>(e); });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    // Sequential Kruskal; weights are distinct, so the MSF is unique and
+    // must match the parallel result exactly (as sets).
+    std::vector<std::uint32_t> order(in.edges.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return in.weight[a] < in.weight[b];
+              });
+    std::vector<vertex_id> uf(in.g->num_vertices());
+    std::iota(uf.begin(), uf.end(), 0u);
+    auto find = [&](vertex_id v) {
+      while (uf[v] != v) {
+        uf[v] = uf[uf[v]];
+        v = uf[v];
+      }
+      return v;
+    };
+    std::vector<std::uint32_t> expected;
+    for (const auto e : order) {
+      const auto ru = find(in.edges[e].u);
+      const auto rv = find(in.edges[e].v);
+      if (ru != rv) {
+        uf[ru] = rv;
+        expected.push_back(e);
+      }
+    }
+    auto got = out.forest_edges;
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    return got == expected;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,151 @@
+// PBBS benchmark: maximalIndependentSet — rootset-based parallel MIS with
+// random priorities (Luby/deterministic-reservations style): in each round
+// every undecided vertex whose priority beats all undecided neighbours
+// joins the set and knocks its neighbours out. Priorities are a fixed
+// random permutation, so the result equals the sequential greedy MIS in
+// priority order (lexicographically first MIS).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/graph.h"
+#include "pbbs/graph_gen.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+struct mis_bench {
+  static constexpr const char* name = "maximalIndependentSet";
+
+  enum class state : std::uint8_t { undecided = 0, in_set = 1, out = 2 };
+
+  struct input {
+    std::shared_ptr<graph> g;
+    std::vector<std::uint32_t> priority;  // random permutation
+  };
+  struct output {
+    std::vector<std::uint8_t> in_set;  // 1 iff vertex selected
+  };
+
+  static std::vector<std::string> instances() {
+    return {"rMatGraph", "randLocalGraph"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    std::shared_ptr<graph> g;
+    if (instance == "rMatGraph") {
+      g = std::make_shared<graph>(rmat_graph(n / 8, n));
+    } else if (instance == "randLocalGraph") {
+      g = std::make_shared<graph>(rand_local_graph(n / 8));
+    } else {
+      throw std::invalid_argument("maximalIndependentSet: unknown instance " +
+                                  std::string(instance));
+    }
+    std::vector<std::uint32_t> priority(g->num_vertices());
+    std::iota(priority.begin(), priority.end(), 0u);
+    // Fisher-Yates with the deterministic RNG.
+    xoshiro256 rng(99);
+    for (std::size_t i = priority.size(); i > 1; --i) {
+      std::swap(priority[i - 1], priority[rng.bounded(i)]);
+    }
+    return {std::move(g), std::move(priority)};
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const graph& g = *in.g;
+    const std::size_t n = g.num_vertices();
+    std::vector<std::atomic<std::uint8_t>> st(n);
+    output out;
+    out.in_set.assign(n, 0);
+
+    sched.run([&] {
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        st[v].store(static_cast<std::uint8_t>(state::undecided),
+                    std::memory_order_relaxed);
+      });
+      std::vector<vertex_id> active(n);
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        active[v] = static_cast<vertex_id>(v);
+      });
+      while (!active.empty()) {
+        // A vertex enters the set iff it is the priority minimum among its
+        // undecided neighbourhood.
+        par::parallel_for(sched, 0, active.size(), [&](std::size_t k) {
+          const vertex_id v = active[k];
+          if (st[v].load(std::memory_order_relaxed) !=
+              static_cast<std::uint8_t>(state::undecided)) {
+            return;
+          }
+          for (const vertex_id w : g.neighbors(v)) {
+            if (st[w].load(std::memory_order_relaxed) !=
+                    static_cast<std::uint8_t>(state::out) &&
+                in.priority[w] < in.priority[v]) {
+              return;  // a live higher-priority neighbour exists
+            }
+          }
+          st[v].store(static_cast<std::uint8_t>(state::in_set),
+                      std::memory_order_relaxed);
+        });
+        // Knock out neighbours of fresh set members.
+        par::parallel_for(sched, 0, active.size(), [&](std::size_t k) {
+          const vertex_id v = active[k];
+          if (st[v].load(std::memory_order_relaxed) ==
+              static_cast<std::uint8_t>(state::in_set)) {
+            for (const vertex_id w : g.neighbors(v)) {
+              st[w].store(static_cast<std::uint8_t>(state::out),
+                          std::memory_order_relaxed);
+            }
+          }
+        });
+        active = par::filter(sched, active.begin(), active.size(),
+                             [&](vertex_id v) {
+                               return st[v].load(std::memory_order_relaxed) ==
+                                      static_cast<std::uint8_t>(
+                                          state::undecided);
+                             });
+      }
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        out.in_set[v] = st[v].load(std::memory_order_relaxed) ==
+                        static_cast<std::uint8_t>(state::in_set);
+      });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    const graph& g = *in.g;
+    // Independence.
+    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+      if (!out.in_set[v]) continue;
+      for (const vertex_id w : g.neighbors(v)) {
+        if (out.in_set[w]) return false;
+      }
+    }
+    // Maximality: every non-member has a member neighbour.
+    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+      if (out.in_set[v]) continue;
+      bool covered = false;
+      for (const vertex_id w : g.neighbors(v)) {
+        if (out.in_set[w]) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered && g.degree(v) > 0) return false;
+      if (g.degree(v) == 0 && !out.in_set[v]) return false;  // isolated
+    }
+    return true;
+  }
+};
+
+}  // namespace lcws::pbbs

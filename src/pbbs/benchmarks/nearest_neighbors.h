@@ -1,0 +1,179 @@
+// PBBS benchmark: nearestNeighbors — all-points 1-nearest-neighbour via a
+// uniform grid: bucket the points in parallel (counting sort by cell),
+// then for each point search its cell and expanding rings of neighbouring
+// cells until the best distance proves no farther ring can win.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/integer_sort.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+#include "pbbs/geometry.h"
+#include "pbbs/point_gen.h"
+
+namespace lcws::pbbs {
+
+struct nearest_neighbors_bench {
+  static constexpr const char* name = "nearestNeighbors";
+
+  struct input {
+    std::vector<point2d> points;
+  };
+  struct output {
+    std::vector<std::uint32_t> neighbor;  // index of the nearest other point
+  };
+
+  static std::vector<std::string> instances() {
+    return {"2DinCube", "2Dkuzmin", "2DinSphere"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "2DinCube") return {points_in_cube_2d(n)};
+    if (instance == "2Dkuzmin") return {points_kuzmin_2d(n)};
+    if (instance == "2DinSphere") return {points_in_sphere_2d(n)};
+    throw std::invalid_argument("nearestNeighbors: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const auto& pts = in.points;
+    const std::size_t n = pts.size();
+    output out;
+    out.neighbor.assign(n, 0);
+    if (n < 2) return out;
+
+    sched.run([&] {
+      // Bounding box (sequential reductions are fine: 4 scans of n).
+      double min_x = pts[0].x, max_x = pts[0].x;
+      double min_y = pts[0].y, max_y = pts[0].y;
+      for (const auto& p : pts) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+      }
+      // ~1 point per cell on average.
+      const std::size_t side = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+      const double cell_w = (max_x - min_x) / static_cast<double>(side) + 1e-12;
+      const double cell_h = (max_y - min_y) / static_cast<double>(side) + 1e-12;
+      const auto cell_of = [&](point2d p) {
+        auto cx = static_cast<std::size_t>((p.x - min_x) / cell_w);
+        auto cy = static_cast<std::size_t>((p.y - min_y) / cell_h);
+        cx = std::min(cx, side - 1);
+        cy = std::min(cy, side - 1);
+        return cy * side + cx;
+      };
+
+      // Bucket: stable radix sort of (cell, index) pairs, then cell
+      // offsets via a parallel histogram + scan.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> tagged(n);
+      par::parallel_for(sched, 0, n, [&](std::size_t i) {
+        tagged[i] = {cell_of(pts[i]), static_cast<std::uint32_t>(i)};
+      });
+      unsigned cell_bits = 1;
+      while ((std::size_t{1} << cell_bits) < side * side) ++cell_bits;
+      par::integer_sort(
+          sched, tagged, [](const auto& t) { return t.first; }, cell_bits);
+      const std::size_t cells = side * side;
+      // Offsets by binary search over the sorted tags.
+      std::vector<std::size_t> cell_begin(cells + 1);
+      par::parallel_for(sched, 0, cells + 1, [&](std::size_t c) {
+        cell_begin[c] = static_cast<std::size_t>(
+            std::lower_bound(tagged.begin(), tagged.end(), c,
+                             [](const auto& t, std::size_t cell) {
+                               return t.first < cell;
+                             }) -
+            tagged.begin());
+      });
+
+      const auto ring_min_distance = [&](std::size_t ring) {
+        return ring == 0 ? 0.0
+                         : (static_cast<double>(ring) - 1.0) *
+                               std::min(cell_w, cell_h);
+      };
+
+      par::parallel_for(sched, 0, n, [&](std::size_t i) {
+        const point2d p = pts[i];
+        const std::size_t cell = cell_of(p);
+        const std::size_t cx = cell % side;
+        const std::size_t cy = cell / side;
+        double best = std::numeric_limits<double>::infinity();
+        std::uint32_t best_idx = static_cast<std::uint32_t>(i == 0 ? 1 : 0);
+        for (std::size_t ring = 0; ring < side; ++ring) {
+          // Stop once no point in this ring or beyond can beat `best`.
+          const double ring_min = ring_min_distance(ring);
+          if (best < ring_min * ring_min && ring > 0) break;
+          const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(ring);
+          bool any_cell = false;
+          for (std::ptrdiff_t dy = -r; dy <= r; ++dy) {
+            for (std::ptrdiff_t dx = -r; dx <= r; ++dx) {
+              if (std::max(std::abs(dx), std::abs(dy)) != r) continue;
+              const std::ptrdiff_t x = static_cast<std::ptrdiff_t>(cx) + dx;
+              const std::ptrdiff_t y = static_cast<std::ptrdiff_t>(cy) + dy;
+              if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(side) ||
+                  y >= static_cast<std::ptrdiff_t>(side)) {
+                continue;
+              }
+              any_cell = true;
+              const std::size_t c = static_cast<std::size_t>(y) * side +
+                                    static_cast<std::size_t>(x);
+              for (std::size_t k = cell_begin[c]; k < cell_begin[c + 1];
+                   ++k) {
+                const std::uint32_t j = tagged[k].second;
+                if (j == i) continue;
+                const double d = squared_distance(p, pts[j]);
+                if (d < best) {
+                  best = d;
+                  best_idx = j;
+                }
+              }
+            }
+          }
+          if (!any_cell && ring > 0 &&
+              best < std::numeric_limits<double>::infinity()) {
+            break;
+          }
+        }
+        out.neighbor[i] = best_idx;
+      });
+    });
+    return out;
+  }
+
+  // Exact check on a sample (brute force over all points), plus a global
+  // sanity pass that each reported neighbour is a valid distinct index.
+  static bool check(const input& in, const output& out) {
+    const auto& pts = in.points;
+    const std::size_t n = pts.size();
+    if (out.neighbor.size() != n) return false;
+    if (n < 2) return true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out.neighbor[i] >= n || out.neighbor[i] == i) return false;
+    }
+    const std::size_t samples = std::min<std::size_t>(n, 200);
+    const std::size_t stride = std::max<std::size_t>(1, n / samples);
+    for (std::size_t i = 0; i < n; i += stride) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        best = std::min(best, squared_distance(pts[i], pts[j]));
+      }
+      const double got = squared_distance(pts[i], pts[out.neighbor[i]]);
+      if (got > best * (1.0 + 1e-9) + 1e-18) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,198 @@
+// PBBS benchmark: rangeQuery2d — batch rectangle counting queries over a
+// point set, via a kd-tree built with fork-join recursion (median splits)
+// and a parallel query pass. Inner nodes carry subtree counts and boxes so
+// fully-covered subtrees are counted in O(1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "pbbs/geometry.h"
+#include "pbbs/point_gen.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+struct range_query_bench {
+  static constexpr const char* name = "rangeQuery2d";
+
+  struct rect {
+    double lo_x, lo_y, hi_x, hi_y;
+
+    bool contains(point2d p) const noexcept {
+      return p.x >= lo_x && p.x <= hi_x && p.y >= lo_y && p.y <= hi_y;
+    }
+  };
+
+  struct input {
+    std::vector<point2d> points;
+    std::vector<rect> queries;
+  };
+  struct output {
+    std::vector<std::uint64_t> counts;  // one per query
+  };
+
+  static std::vector<std::string> instances() {
+    return {"2DinCube", "2Dkuzmin"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    input in;
+    std::uint64_t seed = 40;
+    if (instance == "2DinCube") {
+      in.points = points_in_cube_2d(n);
+    } else if (instance == "2Dkuzmin") {
+      in.points = points_kuzmin_2d(n);
+      seed = 41;
+    } else {
+      throw std::invalid_argument("rangeQuery2d: unknown instance " +
+                                  std::string(instance));
+    }
+    // Bounding box of the data, then random sub-rectangles of mixed sizes.
+    double lo_x = in.points[0].x, hi_x = in.points[0].x;
+    double lo_y = in.points[0].y, hi_y = in.points[0].y;
+    for (const auto& p : in.points) {
+      lo_x = std::min(lo_x, p.x);
+      hi_x = std::max(hi_x, p.x);
+      lo_y = std::min(lo_y, p.y);
+      hi_y = std::max(hi_y, p.y);
+    }
+    xoshiro256 rng(seed);
+    const std::size_t n_queries = std::max<std::size_t>(n / 10, 16);
+    in.queries.reserve(n_queries);
+    for (std::size_t q = 0; q < n_queries; ++q) {
+      const double w = (hi_x - lo_x) * (0.01 + 0.3 * rng.uniform());
+      const double h = (hi_y - lo_y) * (0.01 + 0.3 * rng.uniform());
+      const double x = lo_x + (hi_x - lo_x - w) * rng.uniform();
+      const double y = lo_y + (hi_y - lo_y - h) * rng.uniform();
+      in.queries.push_back({x, y, x + w, y + h});
+    }
+    return in;
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    output out;
+    out.counts.assign(in.queries.size(), 0);
+    if (in.points.empty()) return out;
+    sched.run([&] {
+      std::vector<std::uint32_t> idx(in.points.size());
+      par::parallel_for(sched, 0, idx.size(), [&](std::size_t i) {
+        idx[i] = static_cast<std::uint32_t>(i);
+      });
+      const auto tree =
+          build(sched, in.points, idx.data(), idx.size(), /*axis=*/0);
+      par::parallel_for(sched, 0, in.queries.size(), [&](std::size_t q) {
+        out.counts[q] = count(in.points, *tree, in.queries[q]);
+      });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    if (out.counts.size() != in.queries.size()) return false;
+    // Brute force on a sample of queries.
+    const std::size_t samples = std::min<std::size_t>(in.queries.size(), 64);
+    const std::size_t stride =
+        std::max<std::size_t>(1, in.queries.size() / samples);
+    for (std::size_t q = 0; q < in.queries.size(); q += stride) {
+      std::uint64_t expected = 0;
+      for (const auto& p : in.points) expected += in.queries[q].contains(p);
+      if (out.counts[q] != expected) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct node {
+    rect box{};                    // bounding box of the subtree
+    std::uint64_t count = 0;       // points in the subtree
+    std::vector<std::uint32_t> points;  // leaves only
+    std::unique_ptr<node> left, right;
+    bool leaf = true;
+  };
+
+  static constexpr std::size_t leaf_limit = 64;
+  static constexpr std::size_t parallel_limit = 4096;
+
+  template <typename Sched>
+  static std::unique_ptr<node> build(Sched& sched,
+                                     const std::vector<point2d>& pts,
+                                     std::uint32_t* idx, std::size_t n,
+                                     int axis) {
+    auto nd = std::make_unique<node>();
+    nd->count = n;
+    nd->box = {pts[idx[0]].x, pts[idx[0]].y, pts[idx[0]].x, pts[idx[0]].y};
+    if (n <= leaf_limit) {
+      nd->leaf = true;
+      nd->points.assign(idx, idx + n);
+      for (std::size_t i = 0; i < n; ++i) grow(nd->box, pts[idx[i]]);
+      return nd;
+    }
+    nd->leaf = false;
+    const std::size_t mid = n / 2;
+    std::nth_element(idx, idx + mid, idx + n,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return axis == 0 ? pts[a].x < pts[b].x
+                                        : pts[a].y < pts[b].y;
+                     });
+    const auto build_side = [&](std::uint32_t* part, std::size_t count_part,
+                                std::unique_ptr<node>& slot) {
+      slot = build(sched, pts, part, count_part, 1 - axis);
+    };
+    if (n >= parallel_limit) {
+      sched.pardo([&] { build_side(idx, mid, nd->left); },
+                  [&] { build_side(idx + mid, n - mid, nd->right); });
+    } else {
+      build_side(idx, mid, nd->left);
+      build_side(idx + mid, n - mid, nd->right);
+    }
+    nd->box = nd->left->box;
+    grow(nd->box, nd->right->box);
+    return nd;
+  }
+
+  static void grow(rect& box, point2d p) noexcept {
+    box.lo_x = std::min(box.lo_x, p.x);
+    box.lo_y = std::min(box.lo_y, p.y);
+    box.hi_x = std::max(box.hi_x, p.x);
+    box.hi_y = std::max(box.hi_y, p.y);
+  }
+
+  static void grow(rect& box, const rect& other) noexcept {
+    box.lo_x = std::min(box.lo_x, other.lo_x);
+    box.lo_y = std::min(box.lo_y, other.lo_y);
+    box.hi_x = std::max(box.hi_x, other.hi_x);
+    box.hi_y = std::max(box.hi_y, other.hi_y);
+  }
+
+  static bool disjoint(const rect& a, const rect& b) noexcept {
+    return a.hi_x < b.lo_x || b.hi_x < a.lo_x || a.hi_y < b.lo_y ||
+           b.hi_y < a.lo_y;
+  }
+
+  static bool covers(const rect& outer, const rect& inner) noexcept {
+    return outer.lo_x <= inner.lo_x && outer.hi_x >= inner.hi_x &&
+           outer.lo_y <= inner.lo_y && outer.hi_y >= inner.hi_y;
+  }
+
+  static std::uint64_t count(const std::vector<point2d>& pts, const node& nd,
+                             const rect& query) {
+    if (disjoint(query, nd.box)) return 0;
+    if (covers(query, nd.box)) return nd.count;
+    if (nd.leaf) {
+      std::uint64_t c = 0;
+      for (const auto i : nd.points) c += query.contains(pts[i]);
+      return c;
+    }
+    return count(pts, *nd.left, query) + count(pts, *nd.right, query);
+  }
+};
+
+}  // namespace lcws::pbbs

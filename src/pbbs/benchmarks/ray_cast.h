@@ -1,0 +1,209 @@
+// PBBS benchmark: rayCast — first-hit ray casting against a triangle mesh
+// via a BVH: triangles are sorted by the Morton code of their centroids
+// (parallel radix sort), the hierarchy is a fork-join median split over
+// that order, and the ray batch traverses in parallel.
+//
+// The mesh is a synthetic rolling-hills heightfield (PBBS casts rays at
+// scanned models; a heightfield reproduces the same traversal behaviour:
+// coherent geometry, partial occlusion, variable hit depth).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/integer_sort.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/geometry3d.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+struct ray_cast_bench {
+  static constexpr const char* name = "rayCast";
+
+  struct input {
+    std::vector<triangle> mesh;
+    std::vector<ray> rays;
+  };
+  struct output {
+    // First-hit parameter per ray; infinity where the ray misses.
+    std::vector<double> hit_t;
+  };
+
+  static std::vector<std::string> instances() { return {"happyRays"}; }
+
+  // n scales the ray count; the mesh holds ~n/2 triangles.
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance != "happyRays") {
+      throw std::invalid_argument("rayCast: unknown instance " +
+                                  std::string(instance));
+    }
+    input in;
+    // Heightfield: grid of (side x side) cells, two triangles each.
+    std::size_t side = 2;
+    while ((side + 1) * (side + 1) * 2 < n / 2) ++side;
+    const auto height = [](double x, double y) {
+      return 0.2 * std::sin(6.0 * x) * std::cos(5.0 * y) +
+             0.1 * std::sin(17.0 * x + 3.0 * y);
+    };
+    const auto vertex = [&](std::size_t i, std::size_t j) {
+      const double x = static_cast<double>(i) / static_cast<double>(side);
+      const double y = static_cast<double>(j) / static_cast<double>(side);
+      return vec3{x, y, height(x, y)};
+    };
+    in.mesh.reserve(side * side * 2);
+    for (std::size_t i = 0; i < side; ++i) {
+      for (std::size_t j = 0; j < side; ++j) {
+        const vec3 v00 = vertex(i, j), v10 = vertex(i + 1, j);
+        const vec3 v01 = vertex(i, j + 1), v11 = vertex(i + 1, j + 1);
+        in.mesh.push_back({v00, v10, v11});
+        in.mesh.push_back({v00, v11, v01});
+      }
+    }
+    // Rays: mostly downward from above, with jittered directions.
+    xoshiro256 rng(50);
+    in.rays.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const vec3 origin{rng.uniform(), rng.uniform(), 1.0 + rng.uniform()};
+      const vec3 dir{0.2 * (rng.uniform() - 0.5),
+                     0.2 * (rng.uniform() - 0.5), -1.0};
+      in.rays.push_back({origin, dir});
+    }
+    return in;
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    output out;
+    out.hit_t.assign(in.rays.size(),
+                     std::numeric_limits<double>::infinity());
+    if (in.mesh.empty()) return out;
+    sched.run([&] {
+      // Order triangles along a Morton curve for a compact hierarchy.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(
+          in.mesh.size());
+      aabb scene;
+      for (const auto& t : in.mesh) scene.expand(t);
+      const vec3 extent = scene.hi - scene.lo;
+      par::parallel_for(sched, 0, in.mesh.size(), [&](std::size_t i) {
+        const vec3 c = in.mesh[i].centroid();
+        const auto quant = [&](double v, double lo, double span) {
+          const double f = span > 0 ? (v - lo) / span : 0.0;
+          return static_cast<std::uint32_t>(
+              std::min(1023.0, std::max(0.0, f * 1024.0)));
+        };
+        keyed[i] = {morton3(quant(c.x, scene.lo.x, extent.x),
+                            quant(c.y, scene.lo.y, extent.y),
+                            quant(c.z, scene.lo.z, extent.z)),
+                    static_cast<std::uint32_t>(i)};
+      });
+      par::integer_sort(
+          sched, keyed, [](const auto& p) { return p.first; }, 30);
+      std::vector<std::uint32_t> order(keyed.size());
+      par::parallel_for(sched, 0, keyed.size(), [&](std::size_t i) {
+        order[i] = keyed[i].second;
+      });
+      const auto bvh =
+          build(sched, in.mesh, order.data(), order.size());
+      par::parallel_for(sched, 0, in.rays.size(), [&](std::size_t r) {
+        double best = std::numeric_limits<double>::infinity();
+        traverse(in.mesh, *bvh, in.rays[r], best);
+        out.hit_t[r] = best;
+      });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    if (out.hit_t.size() != in.rays.size()) return false;
+    const std::size_t samples = std::min<std::size_t>(in.rays.size(), 64);
+    const std::size_t stride =
+        std::max<std::size_t>(1, in.rays.size() / samples);
+    for (std::size_t r = 0; r < in.rays.size(); r += stride) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& tri : in.mesh) {
+        const double t = ray_triangle(in.rays[r], tri);
+        if (t >= 0 && t < best) best = t;
+      }
+      if (std::isinf(best) != std::isinf(out.hit_t[r])) return false;
+      if (!std::isinf(best) &&
+          std::abs(best - out.hit_t[r]) > 1e-9 * (1.0 + best)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct node {
+    aabb box;
+    std::vector<std::uint32_t> tris;  // leaves only
+    std::unique_ptr<node> left, right;
+    bool leaf = true;
+  };
+
+  static constexpr std::size_t leaf_limit = 8;
+  static constexpr std::size_t parallel_limit = 2048;
+
+  // Interleaves 10 bits per axis.
+  static std::uint64_t morton3(std::uint32_t x, std::uint32_t y,
+                               std::uint32_t z) noexcept {
+    const auto spread = [](std::uint64_t v) {
+      v &= 0x3ff;
+      v = (v | (v << 16)) & 0x30000ff;
+      v = (v | (v << 8)) & 0x300f00f;
+      v = (v | (v << 4)) & 0x30c30c3;
+      v = (v | (v << 2)) & 0x9249249;
+      return v;
+    };
+    return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+  }
+
+  template <typename Sched>
+  static std::unique_ptr<node> build(Sched& sched,
+                                     const std::vector<triangle>& mesh,
+                                     std::uint32_t* order, std::size_t n) {
+    auto nd = std::make_unique<node>();
+    if (n <= leaf_limit) {
+      nd->leaf = true;
+      nd->tris.assign(order, order + n);
+      for (const auto t : nd->tris) nd->box.expand(mesh[t]);
+      return nd;
+    }
+    nd->leaf = false;
+    const std::size_t mid = n / 2;  // median split in Morton order
+    if (n >= parallel_limit) {
+      sched.pardo(
+          [&] { nd->left = build(sched, mesh, order, mid); },
+          [&] { nd->right = build(sched, mesh, order + mid, n - mid); });
+    } else {
+      nd->left = build(sched, mesh, order, mid);
+      nd->right = build(sched, mesh, order + mid, n - mid);
+    }
+    nd->box = nd->left->box;
+    nd->box.expand(nd->right->box);
+    return nd;
+  }
+
+  static void traverse(const std::vector<triangle>& mesh, const node& nd,
+                       const ray& r, double& best) {
+    if (!nd.box.hit(r, best)) return;
+    if (nd.leaf) {
+      for (const auto i : nd.tris) {
+        const double t = ray_triangle(r, mesh[i]);
+        if (t >= 0 && t < best) best = t;
+      }
+      return;
+    }
+    traverse(mesh, *nd.left, r, best);
+    traverse(mesh, *nd.right, r, best);
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,77 @@
+// PBBS benchmark: removeDuplicates — distinct elements of a sequence via
+// the concurrent hash set.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/hash_table.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/sequence_gen.h"
+#include "pbbs/text_gen.h"
+
+namespace lcws::pbbs {
+
+struct remove_duplicates_bench {
+  static constexpr const char* name = "removeDuplicates";
+
+  struct input {
+    std::vector<std::uint64_t> data;  // string instances are pre-hashed
+  };
+  struct output {
+    std::vector<std::uint64_t> distinct;
+  };
+
+  static std::vector<std::string> instances() {
+    return {"randomSeq_int", "trigramSeq_str"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "randomSeq_int") {
+      // Bound n/10 forces ~10x duplication.
+      return {random_seq(n, std::max<std::uint64_t>(n / 10, 16))};
+    }
+    if (instance == "trigramSeq_str") {
+      // PBBS deduplicates strings; we dedupe their 64-bit fingerprints,
+      // which exercises the identical hash-set code path.
+      const auto corpus = trigram_words(n);
+      std::vector<std::uint64_t> keys(corpus.words.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const char c : corpus.words[i]) {
+          h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+        }
+        keys[i] = hash64(h);
+      }
+      return {std::move(keys)};
+    }
+    throw std::invalid_argument("removeDuplicates: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    par::hash_set<std::uint64_t> set(in.data.size());
+    sched.run([&] {
+      par::parallel_for(sched, 0, in.data.size(),
+                        [&](std::size_t i) { set.insert(in.data[i]); });
+    });
+    return {set.keys()};
+  }
+
+  static bool check(const input& in, const output& out) {
+    std::set<std::uint64_t> expected(in.data.begin(), in.data.end());
+    if (out.distinct.size() != expected.size()) return false;
+    auto sorted = out.distinct;
+    std::sort(sorted.begin(), sorted.end());
+    return std::equal(sorted.begin(), sorted.end(), expected.begin());
+  }
+};
+
+}  // namespace lcws::pbbs

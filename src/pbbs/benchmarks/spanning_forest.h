@@ -1,0 +1,173 @@
+// PBBS benchmark: spanningForest — deterministic-reservations spanning
+// forest: rounds where every live edge tries to link the components of its
+// endpoints; an edge wins a round iff it reserved the (current) root of one
+// endpoint's component. Uses a simple union-find with path compression
+// (compression is done by the owning round's find pass, not concurrently
+// mutated during reservation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "pbbs/graph.h"
+#include "pbbs/graph_gen.h"
+
+namespace lcws::pbbs {
+
+struct spanning_forest_bench {
+  static constexpr const char* name = "spanningForest";
+
+  struct input {
+    std::shared_ptr<graph> g;
+    std::vector<edge> edges;
+  };
+  struct output {
+    std::vector<std::uint32_t> forest_edges;  // indices into input.edges
+  };
+
+  static std::vector<std::string> instances() {
+    return {"rMatGraph", "randLocalGraph"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    std::shared_ptr<graph> g;
+    if (instance == "rMatGraph") {
+      g = std::make_shared<graph>(rmat_graph(n / 8, n));
+    } else if (instance == "randLocalGraph") {
+      g = std::make_shared<graph>(rand_local_graph(n / 8));
+    } else {
+      throw std::invalid_argument("spanningForest: unknown instance " +
+                                  std::string(instance));
+    }
+    auto edges = g->undirected_edges();
+    return {std::move(g), std::move(edges)};
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    const std::size_t n = in.g->num_vertices();
+    constexpr std::uint32_t kFree = std::numeric_limits<std::uint32_t>::max();
+    // parent[] forms the union-find forest over components; roots point to
+    // themselves. Only roots are linked, and only by the edge that
+    // reserved them, so a round's links never form cycles.
+    std::vector<std::atomic<vertex_id>> parent(n);
+    std::vector<std::atomic<std::uint32_t>> reservation(n);
+    std::vector<std::atomic<std::uint8_t>> in_forest(in.edges.size());
+    output out;
+
+    auto find_root = [&](vertex_id v) {
+      while (true) {
+        const vertex_id p = parent[v].load(std::memory_order_relaxed);
+        if (p == v) return v;
+        const vertex_id gp = parent[p].load(std::memory_order_relaxed);
+        // Path halving; safe because stale writes still point into the
+        // same component.
+        parent[v].store(gp, std::memory_order_relaxed);
+        v = gp;
+      }
+    };
+
+    sched.run([&] {
+      par::parallel_for(sched, 0, n, [&](std::size_t v) {
+        parent[v].store(static_cast<vertex_id>(v),
+                        std::memory_order_relaxed);
+        reservation[v].store(kFree, std::memory_order_relaxed);
+      });
+      par::parallel_for(sched, 0, in.edges.size(), [&](std::size_t e) {
+        in_forest[e].store(0, std::memory_order_relaxed);
+      });
+      std::vector<std::uint32_t> live(in.edges.size());
+      par::parallel_for(sched, 0, live.size(), [&](std::size_t i) {
+        live[i] = static_cast<std::uint32_t>(i);
+      });
+
+      while (!live.empty()) {
+        // Reserve: each live cross-component edge fetch-mins itself onto
+        // the smaller of its two component roots. Links always point from
+        // the smaller root to the larger, so parent chains strictly
+        // increase and a round of concurrent links can never form a cycle.
+        std::vector<vertex_id> root_u(live.size()), root_v(live.size());
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const auto [u, v] = in.edges[live[k]];
+          root_u[k] = find_root(u);
+          root_v[k] = find_root(v);
+          if (root_u[k] == root_v[k]) return;  // already connected
+          if (root_u[k] > root_v[k]) std::swap(root_u[k], root_v[k]);
+          std::uint32_t cur =
+              reservation[root_u[k]].load(std::memory_order_relaxed);
+          while (live[k] < cur &&
+                 !reservation[root_u[k]].compare_exchange_weak(
+                     cur, live[k], std::memory_order_relaxed,
+                     std::memory_order_relaxed)) {
+          }
+        });
+        // Commit: the winning edge links root_u under root_v.
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          const std::uint32_t e = live[k];
+          if (root_u[k] == root_v[k]) return;
+          if (reservation[root_u[k]].load(std::memory_order_relaxed) == e) {
+            parent[root_u[k]].store(root_v[k], std::memory_order_relaxed);
+            in_forest[e].store(1, std::memory_order_relaxed);
+          }
+        });
+        // Clear the reservations we used and drop settled edges.
+        par::parallel_for(sched, 0, live.size(), [&](std::size_t k) {
+          if (root_u[k] != root_v[k]) {
+            reservation[root_u[k]].store(kFree, std::memory_order_relaxed);
+          }
+        });
+        live = par::filter(
+            sched, live.begin(), live.size(), [&](std::uint32_t e) {
+              return in_forest[e].load(std::memory_order_relaxed) == 0 &&
+                     find_root(in.edges[e].u) != find_root(in.edges[e].v);
+            });
+      }
+      out.forest_edges = par::pack_index(
+          sched, in.edges.size(),
+          [&](std::size_t e) {
+            return in_forest[e].load(std::memory_order_relaxed) != 0;
+          },
+          [](std::size_t e) { return static_cast<std::uint32_t>(e); });
+    });
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    // The forest must be acyclic, span every component, and contain
+    // exactly n - #components edges. Verify with a sequential union-find.
+    const std::size_t n = in.g->num_vertices();
+    std::vector<vertex_id> uf(n);
+    std::iota(uf.begin(), uf.end(), 0u);
+    auto find = [&](vertex_id v) {
+      while (uf[v] != v) {
+        uf[v] = uf[uf[v]];
+        v = uf[v];
+      }
+      return v;
+    };
+    for (const auto e : out.forest_edges) {
+      if (e >= in.edges.size()) return false;
+      const auto ru = find(in.edges[e].u);
+      const auto rv = find(in.edges[e].v);
+      if (ru == rv) return false;  // cycle
+      uf[ru] = rv;
+    }
+    // Spanning: every input edge's endpoints are now connected.
+    for (const auto& e : in.edges) {
+      if (find(e.u) != find(e.v)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace lcws::pbbs

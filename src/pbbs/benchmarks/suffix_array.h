@@ -1,0 +1,79 @@
+// PBBS benchmark: suffixArray — parallel prefix-doubling (Manber-Myers
+// with radix sorting); the construction itself lives in pbbs/suffix.h and
+// is shared with longestRepeatedSubstring.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pbbs/suffix.h"
+#include "pbbs/text_gen.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+struct suffix_array_bench {
+  static constexpr const char* name = "suffixArray";
+
+  struct input {
+    std::shared_ptr<std::string> text;
+  };
+  struct output {
+    std::vector<std::uint32_t> sa;  // suffix start offsets, sorted
+  };
+
+  static std::vector<std::string> instances() {
+    return {"trigramString", "randomString"};
+  }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance == "trigramString") {
+      auto corpus = trigram_words(n / 5 + 1);
+      auto text = std::make_shared<std::string>(std::move(corpus.text));
+      if (text->size() > n) text->resize(n);
+      return {std::move(text)};
+    }
+    if (instance == "randomString") {
+      auto text = std::make_shared<std::string>();
+      text->reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        text->push_back(static_cast<char>('a' + hash64(i ^ 0xabcdef) % 26));
+      }
+      return {std::move(text)};
+    }
+    throw std::invalid_argument("suffixArray: unknown instance " +
+                                std::string(instance));
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    output out;
+    out.sa = build_suffix_array(sched, std::string_view(*in.text));
+    return out;
+  }
+
+  static bool check(const input& in, const output& out) {
+    const std::string& s = *in.text;
+    const std::size_t n = s.size();
+    if (out.sa.size() != n) return false;
+    // Permutation check.
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const auto i : out.sa) {
+      if (i >= n || seen[i]) return false;
+      seen[i] = 1;
+    }
+    // Adjacent suffixes must be strictly increasing.
+    const std::string_view sv(s);
+    for (std::size_t j = 1; j < n; ++j) {
+      if (sv.substr(out.sa[j - 1]) >= sv.substr(out.sa[j])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,71 @@
+// PBBS benchmark: wordCounts — count occurrences of each distinct word in
+// a trigram corpus, via the concurrent string counter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parallel/hash_table.h"
+#include "parallel/parallel_for.h"
+#include "parallel/tokens.h"
+#include "pbbs/text_gen.h"
+
+namespace lcws::pbbs {
+
+struct word_counts_bench {
+  static constexpr const char* name = "wordCounts";
+
+  struct input {
+    // shared_ptr: the corpus must stay at a stable address because the
+    // outputs hold views into it.
+    std::shared_ptr<text_corpus> corpus;
+  };
+  struct output {
+    std::vector<std::pair<std::string_view, std::uint64_t>> counts;
+  };
+
+  static std::vector<std::string> instances() { return {"trigramSeq"}; }
+
+  static input make(std::string_view instance, std::size_t n) {
+    if (instance != "trigramSeq") {
+      throw std::invalid_argument("wordCounts: unknown instance " +
+                                  std::string(instance));
+    }
+    return {std::make_shared<text_corpus>(trigram_words(n))};
+  }
+
+  template <typename Sched>
+  static output run(Sched& sched, const input& in) {
+    // The kernel tokenizes the raw text itself (as PBBS does) and counts
+    // concurrently. Distinct-word count is far below total words for
+    // trigram text; 1/4 is a safe overestimate.
+    par::string_counter counter(
+        in.corpus->text,
+        std::max<std::size_t>(in.corpus->words.size() / 4, 64));
+    sched.run([&] {
+      const auto words = par::tokens(sched, in.corpus->text);
+      par::parallel_for(sched, 0, words.size(),
+                        [&](std::size_t i) { counter.add(words[i]); });
+    });
+    return {counter.entries()};
+  }
+
+  static bool check(const input& in, const output& out) {
+    std::map<std::string_view, std::uint64_t> expected;
+    for (const auto w : in.corpus->words) ++expected[w];
+    if (out.counts.size() != expected.size()) return false;
+    for (const auto& [w, c] : out.counts) {
+      const auto it = expected.find(w);
+      if (it == expected.end() || it->second != c) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,35 @@
+// 2D geometry primitives for the computational-geometry workloads.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace lcws::pbbs {
+
+struct point2d {
+  double x = 0;
+  double y = 0;
+
+  friend point2d operator-(point2d a, point2d b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend bool operator==(const point2d&, const point2d&) = default;
+};
+
+// Twice the signed area of triangle (a, b, c): > 0 iff c lies strictly to
+// the left of the directed line a -> b.
+inline double cross(point2d a, point2d b, point2d c) noexcept {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+inline double squared_distance(point2d a, point2d b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(point2d a, point2d b) noexcept {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace lcws::pbbs

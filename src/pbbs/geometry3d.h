@@ -1,0 +1,123 @@
+// 3D geometry primitives for the rayCast workload: vectors, axis-aligned
+// boxes with slab-test ray intersection, and Möller-Trumbore ray-triangle
+// intersection.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lcws::pbbs {
+
+struct vec3 {
+  double x = 0, y = 0, z = 0;
+
+  friend vec3 operator+(vec3 a, vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend vec3 operator-(vec3 a, vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend vec3 operator*(vec3 a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend bool operator==(const vec3&, const vec3&) = default;
+};
+
+inline double dot(vec3 a, vec3 b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline vec3 cross3(vec3 a, vec3 b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+struct triangle {
+  vec3 a, b, c;
+
+  vec3 centroid() const noexcept {
+    return {(a.x + b.x + c.x) / 3, (a.y + b.y + c.y) / 3,
+            (a.z + b.z + c.z) / 3};
+  }
+};
+
+struct ray {
+  vec3 origin;
+  vec3 direction;  // need not be normalized
+};
+
+// Axis-aligned bounding box.
+struct aabb {
+  vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  void expand(vec3 p) noexcept {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  void expand(const aabb& other) noexcept {
+    expand(other.lo);
+    expand(other.hi);
+  }
+
+  void expand(const triangle& t) noexcept {
+    expand(t.a);
+    expand(t.b);
+    expand(t.c);
+  }
+
+  // Slab test: does the ray hit the box at parameter t in [0, t_max)?
+  bool hit(const ray& r, double t_max) const noexcept {
+    double t0 = 0, t1 = t_max;
+    const double o[3] = {r.origin.x, r.origin.y, r.origin.z};
+    const double d[3] = {r.direction.x, r.direction.y, r.direction.z};
+    const double l[3] = {lo.x, lo.y, lo.z};
+    const double h[3] = {hi.x, hi.y, hi.z};
+    for (int axis = 0; axis < 3; ++axis) {
+      if (d[axis] == 0.0) {
+        if (o[axis] < l[axis] || o[axis] > h[axis]) return false;
+        continue;
+      }
+      const double inv = 1.0 / d[axis];
+      double near = (l[axis] - o[axis]) * inv;
+      double far = (h[axis] - o[axis]) * inv;
+      if (near > far) std::swap(near, far);
+      t0 = std::max(t0, near);
+      t1 = std::min(t1, far);
+      if (t0 > t1) return false;
+    }
+    return true;
+  }
+};
+
+// Möller-Trumbore; returns the hit parameter t >= 0 or a negative value on
+// miss.
+inline double ray_triangle(const ray& r, const triangle& tri) noexcept {
+  constexpr double eps = 1e-12;
+  const vec3 e1 = tri.b - tri.a;
+  const vec3 e2 = tri.c - tri.a;
+  const vec3 p = cross3(r.direction, e2);
+  const double det = dot(e1, p);
+  if (std::abs(det) < eps) return -1.0;
+  const double inv_det = 1.0 / det;
+  const vec3 s = r.origin - tri.a;
+  const double u = dot(s, p) * inv_det;
+  if (u < 0.0 || u > 1.0) return -1.0;
+  const vec3 q = cross3(s, e1);
+  const double v = dot(r.direction, q) * inv_det;
+  if (v < 0.0 || u + v > 1.0) return -1.0;
+  const double t = dot(e2, q) * inv_det;
+  return t >= 0.0 ? t : -1.0;
+}
+
+}  // namespace lcws::pbbs

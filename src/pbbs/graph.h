@@ -1,0 +1,87 @@
+// Compressed-sparse-row graphs for the PBBS graph workloads.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace lcws::pbbs {
+
+using vertex_id = std::uint32_t;
+
+struct edge {
+  vertex_id u;
+  vertex_id v;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+// Undirected graph in CSR form; every edge {u,v} appears as both (u,v) and
+// (v,u) in the adjacency structure.
+class graph {
+ public:
+  graph() = default;
+
+  // Builds from an undirected edge list (self-loops and duplicates are
+  // removed). Sequential; generation is not part of any timed region.
+  static graph from_edges(std::size_t n, std::vector<edge> edges) {
+    // Symmetrize, canonicalize, dedupe.
+    std::vector<edge> sym;
+    sym.reserve(edges.size() * 2);
+    for (const auto& e : edges) {
+      if (e.u == e.v || e.u >= n || e.v >= n) continue;
+      sym.push_back({e.u, e.v});
+      sym.push_back({e.v, e.u});
+    }
+    std::sort(sym.begin(), sym.end(), [](const edge& a, const edge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+    graph g;
+    g.offsets_.assign(n + 1, 0);
+    for (const auto& e : sym) ++g.offsets_[e.u + 1];
+    for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+    g.adjacency_.resize(sym.size());
+    for (std::size_t i = 0; i < sym.size(); ++i) {
+      g.adjacency_[i] = sym[i].v;  // sym is sorted by u, then v
+    }
+    return g;
+  }
+
+  std::size_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  // Directed arc count (2x the undirected edge count).
+  std::size_t num_arcs() const noexcept { return adjacency_.size(); }
+
+  std::span<const vertex_id> neighbors(vertex_id v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(vertex_id v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  // Unique undirected edges (u < v), for the edge-centric workloads.
+  std::vector<edge> undirected_edges() const {
+    std::vector<edge> out;
+    out.reserve(num_arcs() / 2);
+    for (vertex_id u = 0; u < num_vertices(); ++u) {
+      for (const vertex_id v : neighbors(u)) {
+        if (u < v) out.push_back({u, v});
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<vertex_id> adjacency_;
+};
+
+}  // namespace lcws::pbbs

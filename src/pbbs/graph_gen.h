@@ -1,0 +1,87 @@
+// PBBS-style graph input instances: rMatGraph (power-law), randLocalGraph
+// (uniform-ish with locality), and 3Dgrid (mesh). Deterministic in the
+// seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pbbs/graph.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+// Recursive-matrix (R-MAT) generator with the usual (a,b,c,d) skew,
+// yielding a power-law degree distribution like PBBS's rMatGraph inputs.
+inline graph rmat_graph(std::size_t n_target, std::size_t m,
+                        std::uint64_t seed = 20, double a = 0.5,
+                        double b = 0.1, double c = 0.1) {
+  // Round vertices up to a power of two for the quadrant recursion.
+  std::size_t n = 1;
+  while (n < n_target) n <<= 1;
+  xoshiro256 rng(seed);
+  std::vector<edge> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t u = 0, v = 0;
+    for (std::size_t bit = n >> 1; bit > 0; bit >>= 1) {
+      const double r = rng.uniform();
+      if (r < a) {
+        // top-left: nothing set
+      } else if (r < a + b) {
+        v |= bit;
+      } else if (r < a + b + c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    edges.push_back({static_cast<vertex_id>(u), static_cast<vertex_id>(v)});
+  }
+  return graph::from_edges(n, std::move(edges));
+}
+
+// Each vertex gets `degree` edges to targets within a local window (PBBS's
+// randLocalGraph flavour: near-uniform degrees, good locality).
+inline graph rand_local_graph(std::size_t n, std::size_t degree = 8,
+                              std::uint64_t seed = 21) {
+  xoshiro256 rng(seed);
+  std::vector<edge> edges;
+  edges.reserve(n * degree);
+  const std::size_t window = std::max<std::size_t>(16, n / 16);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < degree; ++k) {
+      const std::size_t offset = 1 + rng.bounded(window);
+      const std::size_t v = (u + offset) % n;
+      edges.push_back({static_cast<vertex_id>(u), static_cast<vertex_id>(v)});
+    }
+  }
+  return graph::from_edges(n, std::move(edges));
+}
+
+// 3D grid/torus: vertex (x,y,z) connects to its 6 lattice neighbours
+// (PBBS's 3Dgrid inputs). n is rounded down to a cube.
+inline graph grid3d_graph(std::size_t n_target) {
+  std::size_t side = 1;
+  while ((side + 1) * (side + 1) * (side + 1) <= n_target) ++side;
+  const std::size_t n = side * side * side;
+  const auto id = [side](std::size_t x, std::size_t y, std::size_t z) {
+    return static_cast<vertex_id>((x * side + y) * side + z);
+  };
+  std::vector<edge> edges;
+  edges.reserve(3 * n);
+  for (std::size_t x = 0; x < side; ++x) {
+    for (std::size_t y = 0; y < side; ++y) {
+      for (std::size_t z = 0; z < side; ++z) {
+        edges.push_back({id(x, y, z), id((x + 1) % side, y, z)});
+        edges.push_back({id(x, y, z), id(x, (y + 1) % side, z)});
+        edges.push_back({id(x, y, z), id(x, y, (z + 1) % side)});
+      }
+    }
+  }
+  return graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace lcws::pbbs

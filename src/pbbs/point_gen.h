@@ -1,0 +1,56 @@
+// PBBS-style point-set input instances for convexHull and
+// nearestNeighbors: 2DinCube (uniform in the unit square), 2DinSphere
+// (uniform in the unit disc), and 2Dkuzmin (heavily clustered radial
+// distribution).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "pbbs/geometry.h"
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+inline std::vector<point2d> points_in_cube_2d(std::size_t n,
+                                              std::uint64_t seed = 30) {
+  xoshiro256 rng(seed);
+  std::vector<point2d> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+inline std::vector<point2d> points_in_sphere_2d(std::size_t n,
+                                                std::uint64_t seed = 31) {
+  xoshiro256 rng(seed);
+  std::vector<point2d> pts(n);
+  for (auto& p : pts) {
+    // Uniform in the disc: radius = sqrt(u).
+    const double r = std::sqrt(rng.uniform());
+    const double theta = 2.0 * std::numbers::pi * rng.uniform();
+    p = {r * std::cos(theta), r * std::sin(theta)};
+  }
+  return pts;
+}
+
+// Kuzmin disc: density falls off sharply with radius, producing the dense
+// central cluster PBBS's 2Dkuzmin inputs have.
+inline std::vector<point2d> points_kuzmin_2d(std::size_t n,
+                                             std::uint64_t seed = 32) {
+  xoshiro256 rng(seed);
+  std::vector<point2d> pts(n);
+  for (auto& p : pts) {
+    const double u = rng.uniform();
+    // Inverse CDF of the Kuzmin profile: r = sqrt(1/(1-u)^2 - 1).
+    const double denom = 1.0 - 0.999 * u;
+    const double r = std::sqrt(1.0 / (denom * denom) - 1.0);
+    const double theta = 2.0 * std::numbers::pi * rng.uniform();
+    p = {r * std::cos(theta), r * std::sin(theta)};
+  }
+  return pts;
+}
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,103 @@
+// PBBS-style sequence input instances.
+//
+// PBBS names its inputs after the generator that produced them; we keep the
+// same vocabulary: randomSeq (uniform), exptSeq (exponentially distributed
+// — a few very frequent values, a long tail), almostSortedSeq (sorted with
+// sparse random swaps), and bounded-range variants used by histogram and
+// the pair-sorting instances. All generators are deterministic functions of
+// (seed, i) so instances are reproducible regardless of scheduling.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+// Uniform 64-bit values in [0, bound) (bound == 0: full range).
+inline std::vector<std::uint64_t> random_seq(std::size_t n,
+                                             std::uint64_t bound = 0,
+                                             std::uint64_t seed = 1) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    v[i] = bound == 0 ? r : r % bound;
+  }
+  return v;
+}
+
+// Exponentially distributed keys as in PBBS's exptSeq: value v appears with
+// probability ~ 2^-v scaled into [0, bound).
+inline std::vector<std::uint64_t> expt_seq(std::size_t n,
+                                           std::uint64_t bound = 1u << 27,
+                                           std::uint64_t seed = 2) {
+  std::vector<std::uint64_t> v(n);
+  const double lambda = 16.0 / static_cast<double>(bound);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    const double u = static_cast<double>(r >> 11) * 0x1.0p-53;
+    const double e = -std::log(1.0 - u) / lambda;
+    std::uint64_t x = static_cast<std::uint64_t>(e);
+    if (x >= bound) x = bound - 1;
+    v[i] = x;
+  }
+  return v;
+}
+
+// Sorted sequence with ~sqrt(n) random transpositions (PBBS
+// almostSortedSeq).
+inline std::vector<std::uint64_t> almost_sorted_seq(std::size_t n,
+                                                    std::uint64_t seed = 3) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  xoshiro256 rng(seed);
+  const std::size_t swaps = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(n)));
+  for (std::size_t s = 0; s < swaps && n > 1; ++s) {
+    std::swap(v[rng.bounded(n)], v[rng.bounded(n)]);
+  }
+  return v;
+}
+
+// Uniform doubles in [0, 1).
+inline std::vector<double> random_double_seq(std::size_t n,
+                                             std::uint64_t seed = 4) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(
+               hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))) >> 11) *
+           0x1.0p-53;
+  }
+  return v;
+}
+
+// Exponentially distributed doubles.
+inline std::vector<double> expt_double_seq(std::size_t n,
+                                           std::uint64_t seed = 5) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u =
+        static_cast<double>(
+            hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))) >> 11) *
+        0x1.0p-53;
+    v[i] = -std::log(1.0 - u);
+  }
+  return v;
+}
+
+// Key/value pairs with keys drawn uniformly from [0, key_bound).
+inline std::vector<std::pair<std::uint64_t, std::uint64_t>> random_pair_seq(
+    std::size_t n, std::uint64_t key_bound, std::uint64_t seed = 6) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = hash64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    v[i] = {key_bound == 0 ? r : r % key_bound, i};
+  }
+  return v;
+}
+
+}  // namespace lcws::pbbs

@@ -1,0 +1,90 @@
+// Reusable parallel suffix-array construction (prefix doubling) and LCP
+// computation — shared by the suffixArray and longestRepeatedSubstring
+// workloads.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parallel/integer_sort.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+
+namespace lcws::pbbs {
+
+// Manber-Myers prefix doubling with radix sorting: O(n log^2 n) work.
+template <typename Sched>
+std::vector<std::uint32_t> build_suffix_array(Sched& sched,
+                                              std::string_view s) {
+  const std::size_t n = s.size();
+  std::vector<std::uint32_t> sa(n);
+  if (n == 0) return sa;
+
+  std::vector<std::uint32_t> rank(n), next_rank(n);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(n);
+  par::parallel_for(sched, 0, n, [&](std::size_t i) {
+    rank[i] = static_cast<unsigned char>(s[i]);
+    sa[i] = static_cast<std::uint32_t>(i);
+  });
+
+  unsigned rank_bits = 9;  // > 8 bits of char ranks (+1 shift below)
+  for (std::size_t k = 1;; k <<= 1) {
+    // Key: (rank[i], rank[i+k]+1) packed; +1 reserves 0 for "past the
+    // end", which sorts before every real rank.
+    par::parallel_for(sched, 0, n, [&](std::size_t i) {
+      const std::uint64_t hi = rank[i];
+      const std::uint64_t lo = i + k < n ? rank[i + k] + 1 : 0;
+      keyed[i] = {(hi << rank_bits) | lo, static_cast<std::uint32_t>(i)};
+    });
+    par::integer_sort(
+        sched, keyed, [](const auto& p) { return p.first; }, 2 * rank_bits);
+    // Re-rank: position of each distinct key among the sorted keys.
+    std::vector<std::uint32_t> boundary(n);
+    par::parallel_for(sched, 0, n, [&](std::size_t j) {
+      boundary[j] = j > 0 && keyed[j].first != keyed[j - 1].first;
+    });
+    std::vector<std::uint32_t> class_of(n);
+    const std::uint32_t classes =
+        static_cast<std::uint32_t>(par::scan_exclusive(
+            sched, boundary.begin(), class_of.begin(), n, std::uint32_t{0},
+            [](std::uint32_t a, std::uint32_t b) { return a + b; })) +
+        1;
+    par::parallel_for(sched, 0, n, [&](std::size_t j) {
+      next_rank[keyed[j].second] = class_of[j] + boundary[j];
+      sa[j] = keyed[j].second;
+    });
+    std::swap(rank, next_rank);
+    if (classes == n) break;  // all suffixes distinguished
+    // The low field holds rank+1 <= classes, so 2^rank_bits must exceed
+    // `classes`; the high field (<= classes-1) then fits too.
+    rank_bits = 1;
+    while ((std::uint64_t{1} << rank_bits) < std::uint64_t{classes} + 1) {
+      ++rank_bits;
+    }
+    if (k >= n) break;  // defensive: cannot refine further
+  }
+  return sa;
+}
+
+// LCP of adjacent suffix-array entries by direct comparison: lcp[j] =
+// lcp(s[sa[j-1]..], s[sa[j]..]), lcp[0] = 0. Worst case O(n * max_lcp)
+// work, fine for natural-text workloads (short average LCP) and trivially
+// parallel; Kasai's O(n) algorithm is inherently sequential.
+template <typename Sched>
+std::vector<std::uint32_t> adjacent_lcp(Sched& sched, std::string_view s,
+                                        const std::vector<std::uint32_t>& sa) {
+  std::vector<std::uint32_t> lcp(sa.size(), 0);
+  par::parallel_for(sched, 1, sa.size(), [&](std::size_t j) {
+    const std::size_t a = sa[j - 1];
+    const std::size_t b = sa[j];
+    const std::size_t limit = s.size() - std::max(a, b);
+    std::size_t len = 0;
+    while (len < limit && s[a + len] == s[b + len]) ++len;
+    lcp[j] = static_cast<std::uint32_t>(len);
+  });
+  return lcp;
+}
+
+}  // namespace lcws::pbbs

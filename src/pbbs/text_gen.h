@@ -1,0 +1,85 @@
+// Synthetic text corpora in the style of PBBS's trigramString inputs: word
+// lengths and letters drawn from a simple Markov process, words separated
+// by spaces, optionally grouped into documents (the wikipedia-like corpus
+// used by invertedIndex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace lcws::pbbs {
+
+// A corpus plus views of its words (views point into `text`).
+struct text_corpus {
+  std::string text;
+  std::vector<std::string_view> words;
+};
+
+// Generates ~n_words words. The letter process is a fixed first-order
+// chain: the next letter depends on the previous one, giving realistically
+// skewed word frequencies (a few thousand distinct words dominate).
+inline text_corpus trigram_words(std::size_t n_words,
+                                 std::uint64_t seed = 10) {
+  text_corpus corpus;
+  corpus.text.reserve(n_words * 6);
+  std::vector<std::size_t> starts;
+  starts.reserve(n_words);
+  xoshiro256 rng(seed);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    starts.push_back(corpus.text.size());
+    // Word length 2-7, geometric: short words dominate, so the distinct
+    // vocabulary stays far smaller than the word count (as with real
+    // trigram text).
+    std::size_t len = 2;
+    while (len < 7 && rng.bounded(2) != 0) ++len;
+    char prev = static_cast<char>('a' + rng.bounded(26));
+    corpus.text.push_back(prev);
+    for (std::size_t k = 1; k < len; ++k) {
+      // First-order chain: bias the next letter toward a deterministic
+      // successor of prev so frequent digrams exist.
+      const std::uint64_t r = rng.bounded(4);
+      const char next =
+          r == 0 ? static_cast<char>('a' + rng.bounded(26))
+                 : static_cast<char>('a' + (static_cast<unsigned>(prev - 'a') *
+                                                7 +
+                                            static_cast<unsigned>(r)) %
+                                              26);
+      corpus.text.push_back(next);
+      prev = next;
+    }
+    corpus.text.push_back(' ');
+  }
+  corpus.words.reserve(n_words);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const std::size_t start = starts[w];
+    const std::size_t end =
+        w + 1 < n_words ? starts[w + 1] - 1 : corpus.text.size() - 1;
+    corpus.words.emplace_back(corpus.text.data() + start, end - start);
+  }
+  return corpus;
+}
+
+// A corpus partitioned into documents (word index ranges), wikipedia-like
+// input for invertedIndex.
+struct document_corpus {
+  text_corpus corpus;
+  std::vector<std::pair<std::size_t, std::size_t>> docs;  // [begin, end) words
+};
+
+inline document_corpus document_collection(std::size_t n_words,
+                                           std::size_t words_per_doc = 200,
+                                           std::uint64_t seed = 11) {
+  document_corpus out;
+  out.corpus = trigram_words(n_words, seed);
+  for (std::size_t begin = 0; begin < n_words; begin += words_per_doc) {
+    out.docs.emplace_back(begin, std::min(n_words, begin + words_per_doc));
+  }
+  return out;
+}
+
+}  // namespace lcws::pbbs

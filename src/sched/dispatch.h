@@ -1,0 +1,56 @@
+// Runtime selection over the compile-time scheduler policies.
+//
+// Benchmark harnesses sweep over sched_kind; algorithms are templates over
+// the concrete scheduler type so their hot paths stay devirtualized. This
+// adapter instantiates the visitor once per policy.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "sched/policies.h"
+#include "sched/scheduler.h"
+
+namespace lcws {
+
+// Constructs a scheduler of the requested kind with `num_workers` workers
+// and invokes visitor(sched). The scheduler is torn down before returning.
+// Usage:
+//   with_scheduler(kind, p, [&](auto& sched) { ... });
+template <typename Visitor>
+decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
+                              Visitor&& visitor) {
+  switch (kind) {
+    case sched_kind::ws: {
+      ws_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+    case sched_kind::uslcws: {
+      uslcws_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+    case sched_kind::signal: {
+      signal_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+    case sched_kind::conservative: {
+      conservative_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+    case sched_kind::expose_half: {
+      expose_half_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+    case sched_kind::private_deques: {
+      private_deques_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+    case sched_kind::lace:
+    default: {
+      lace_scheduler sched(num_workers);
+      return std::forward<Visitor>(visitor)(sched);
+    }
+  }
+}
+
+}  // namespace lcws

@@ -1,0 +1,150 @@
+// The five scheduling policies of the paper, expressed as compile-time
+// policy classes consumed by scheduler<Policy>.
+//
+// Three behavioural families exist:
+//   * ws          — the baseline: fully concurrent ABP deque, no exposure.
+//   * user_space  — USLCWS (Section 3): split deque; exposure requests are
+//                   flags that the victim notices on its next get_task.
+//   * signal      — Signal / Conservative / ExposeHalf (Section 4): split
+//                   deque; exposure requests are SIGUSR1s handled in
+//                   constant time.
+// The signal-family policies differ only in which pop_bottom variant is
+// safe for them, which exposure routine the handler runs, and an extra
+// predicate gating notifications (Conservative's has_two_tasks).
+#pragma once
+
+#include "deque/abp_deque.h"
+#include "deque/job.h"
+#include "deque/private_deque.h"
+#include "deque/split_deque.h"
+
+namespace lcws {
+
+enum class sched_family { ws, user_space, signal, mailbox };
+
+// Baseline Work Stealing (Parlay's default scheduler shape).
+struct ws_policy {
+  static constexpr sched_family family = sched_family::ws;
+  static constexpr const char* name = "ws";
+  using deque_type = abp_deque<job>;
+
+  static job* pop_local(deque_type& d) { return d.pop_bottom(); }
+};
+
+// USLCWS, Listing 1.
+struct uslcws_policy {
+  static constexpr sched_family family = sched_family::user_space;
+  static constexpr const char* name = "uslcws";
+  static constexpr bool unexposes = false;  // LCWS never unexposes (§2)
+  using deque_type = split_deque<job>;
+
+  // Exposure only ever happens from the owner's own get_task, never
+  // concurrently with pop_bottom, so the original Listing 2 pop is correct.
+  static job* pop_local(deque_type& d) { return d.pop_bottom_original(); }
+  static std::int64_t expose(deque_type& d) noexcept { return d.expose_one(); }
+};
+
+// Lace-style scheduler (van Dijk & van de Pol, Euro-Par '14 workshops; the
+// paper's Section 2 contrast): flag-polled exposure like USLCWS, but when
+// the owner's private part runs dry it *unexposes* half of the still-
+// unstolen public work back into the fence-free private part.
+struct lace_policy {
+  static constexpr sched_family family = sched_family::user_space;
+  static constexpr const char* name = "lace";
+  static constexpr bool unexposes = true;
+  using deque_type = split_deque<job>;
+
+  static job* pop_local(deque_type& d) { return d.pop_bottom_original(); }
+  static std::int64_t expose(deque_type& d) noexcept { return d.expose_one(); }
+};
+
+// Signal-based LCWS, Section 4 (the "truthful" implementation).
+struct signal_policy {
+  static constexpr sched_family family = sched_family::signal;
+  static constexpr const char* name = "signal";
+  using deque_type = split_deque<job>;
+
+  // The handler may expose the last private task mid-pop, hence the
+  // Section 4 decrement-first pop.
+  static job* pop_local(deque_type& d) { return d.pop_bottom_signal_safe(); }
+  static std::int64_t expose(deque_type& d) noexcept { return d.expose_one(); }
+  static bool should_signal(const deque_type&) noexcept { return true; }
+};
+
+// Conservative Exposure, Section 4.1.1: never exposes the last private
+// task, which removes the race and lets the original pop_bottom stand;
+// thieves additionally refrain from signalling victims with fewer than two
+// private tasks.
+struct conservative_policy {
+  static constexpr sched_family family = sched_family::signal;
+  static constexpr const char* name = "conservative";
+  using deque_type = split_deque<job>;
+
+  static job* pop_local(deque_type& d) { return d.pop_bottom_original(); }
+  static std::int64_t expose(deque_type& d) noexcept {
+    return d.expose_conservative();
+  }
+  static bool should_signal(const deque_type& d) noexcept {
+    return d.has_two_tasks();
+  }
+};
+
+// Expose Half, Section 4.1.2: on request, publish round(r/2) of the r
+// private tasks (r >= 3), via the double2int rounding trick.
+struct expose_half_policy {
+  static constexpr sched_family family = sched_family::signal;
+  static constexpr const char* name = "expose_half";
+  using deque_type = split_deque<job>;
+
+  static job* pop_local(deque_type& d) { return d.pop_bottom_signal_safe(); }
+  static std::int64_t expose(deque_type& d) noexcept { return d.expose_half(); }
+  static bool should_signal(const deque_type&) noexcept { return true; }
+};
+
+// Private deques with explicit steal-request mailboxes (Acar et al.,
+// PPoPP '13) — the related-work baseline of the paper's Section 2. Not an
+// LCWS variant: included for the comparison benches.
+struct private_deques_policy {
+  static constexpr sched_family family = sched_family::mailbox;
+  static constexpr const char* name = "private_deques";
+  using deque_type = private_deque<job>;
+
+  static job* pop_local(deque_type& d) { return d.pop_bottom(); }
+};
+
+// Runtime selector used by harnesses and the type-erased dispatcher.
+enum class sched_kind {
+  ws,
+  uslcws,
+  signal,
+  conservative,
+  expose_half,
+  private_deques,
+  lace,
+};
+
+constexpr const char* to_string(sched_kind kind) noexcept {
+  switch (kind) {
+    case sched_kind::ws: return "ws";
+    case sched_kind::uslcws: return "uslcws";
+    case sched_kind::signal: return "signal";
+    case sched_kind::conservative: return "conservative";
+    case sched_kind::expose_half: return "expose_half";
+    case sched_kind::private_deques: return "private_deques";
+    case sched_kind::lace: return "lace";
+  }
+  return "?";
+}
+
+inline constexpr sched_kind all_sched_kinds[] = {
+    sched_kind::ws,           sched_kind::uslcws,
+    sched_kind::signal,       sched_kind::conservative,
+    sched_kind::expose_half,  sched_kind::private_deques,
+    sched_kind::lace};
+
+// The four LCWS variants (everything but the baseline).
+inline constexpr sched_kind lcws_sched_kinds[] = {
+    sched_kind::uslcws, sched_kind::signal, sched_kind::conservative,
+    sched_kind::expose_half};
+
+}  // namespace lcws

@@ -1,0 +1,402 @@
+// Fork–join work-stealing scheduler, parameterized by one of the five
+// policies in policies.h.
+//
+// Shape follows Parlay's scheduler (the paper's host runtime): the
+// constructing thread is worker 0 and participates in every computation;
+// P-1 additional workers are spawned once and persist. A fork (`pardo`)
+// pushes the right branch as a stack-allocated job onto the forker's deque,
+// runs the left branch inline, then joins by executing whatever work the
+// scheduler hands it until the right branch is done (help-first join).
+//
+// The per-family scheduling logic — Listing 1 (USLCWS) and Listing 3
+// (signal-based) of the paper — lives in get_local()/try_steal() below and
+// is selected with `if constexpr` so each instantiation pays only for its
+// own protocol.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "deque/job.h"
+#include "sched/policies.h"
+#include "sched/signal_support.h"
+#include "stats/counters.h"
+#include "support/align.h"
+#include "support/backoff.h"
+#include "support/rng.h"
+#include "support/threads.h"
+
+namespace lcws {
+
+template <typename Policy>
+class scheduler {
+ public:
+  using policy_type = Policy;
+  using deque_type = typename Policy::deque_type;
+  static constexpr sched_family family = Policy::family;
+
+  // deque_capacity bounds each worker's deque (see split_deque.h for the
+  // capacity contract); the default is ample for fork-join computations.
+  explicit scheduler(std::size_t num_workers,
+                     std::size_t deque_capacity = default_deque_capacity)
+      : nworkers_(num_workers == 0 ? 1 : num_workers),
+        targeted_(nworkers_),
+        counters_(nworkers_),
+        owner_(std::this_thread::get_id()) {
+    workers_.reserve(nworkers_);
+    for (std::size_t i = 0; i < nworkers_; ++i) {
+      workers_.push_back(std::make_unique<worker_state>(i, deque_capacity));
+    }
+    if constexpr (family == sched_family::signal) {
+      detail::install_exposure_handler();
+    }
+    register_worker(0);  // the constructing thread is worker 0
+    threads_.reserve(nworkers_ - 1);
+    for (std::size_t i = 1; i < nworkers_; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+    // Thieves read victims' pthread handles; wait until every worker has
+    // published its own.
+    while (ready_.load(std::memory_order_acquire) + 1 < nworkers_) {
+      std::this_thread::yield();
+    }
+  }
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  ~scheduler() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_.store(true, std::memory_order_release);
+    }
+    idle_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    unregister_worker();
+  }
+
+  std::size_t num_workers() const noexcept { return nworkers_; }
+  static constexpr const char* name() noexcept { return Policy::name; }
+
+  // Runs `f` as the root of a parallel computation on worker 0 (the thread
+  // that constructed this scheduler), waking the other workers for its
+  // duration. Returns f's result.
+  template <typename F>
+  decltype(auto) run(F&& f) {
+    assert(std::this_thread::get_id() == owner_ &&
+           "scheduler::run must be called from the constructing thread");
+    if (active_.load(std::memory_order_relaxed)) {
+      return std::forward<F>(f)();  // nested run: already inside a root
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      active_.store(true, std::memory_order_release);
+    }
+    idle_cv_.notify_all();
+    struct deactivate {
+      std::atomic<bool>& flag;
+      ~deactivate() { flag.store(false, std::memory_order_release); }
+    } guard{active_};
+    return std::forward<F>(f)();
+  }
+
+  // Fork–join: schedules `right` for potential theft, runs `left` inline,
+  // then joins. Callable from worker 0 or from inside any task. When called
+  // outside run(), wraps itself in one.
+  template <typename L, typename R>
+  void pardo(L&& left, R&& right) {
+    if (!active_.load(std::memory_order_relaxed)) [[unlikely]] {
+      run([&] { pardo(left, right); });
+      return;
+    }
+    const std::size_t self = this_worker_id();
+    assert(self < nworkers_ && "pardo called from a non-worker thread");
+    lambda_job<std::remove_reference_t<R>> right_job(right);
+    push(self, &right_job);
+    left();
+    join(self, right_job);
+  }
+
+  // ---- instrumentation ----------------------------------------------------
+
+  // Aggregated synchronization-operation profile. Only meaningful while no
+  // computation is running.
+  stats::profile profile() const { return stats::aggregate(counters_); }
+
+  // Zeroes all counters (call while no computation is running).
+  void reset_counters() noexcept {
+    for (auto& block : counters_) block.get() = stats::op_counters{};
+  }
+
+  // Test/diagnostic access.
+  deque_type& deque_of(std::size_t worker) noexcept {
+    return workers_[worker]->deque;
+  }
+  bool is_targeted(std::size_t worker) const noexcept {
+    return targeted_[worker]->load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct worker_state {
+    worker_state(std::size_t id, std::size_t deque_capacity)
+        : deque(deque_capacity), rng(hash64(0x5eed5eedULL + id)) {}
+    deque_type deque;
+    xoshiro256 rng;            // victim selection; owner-only
+    pthread_t handle{};        // published before ready_ increments
+    steal_box<job> mail;       // mailbox family: this worker's answer box
+  };
+
+  // ---- registration -------------------------------------------------------
+
+  void register_worker(std::size_t id) {
+    set_this_worker_id(id);
+    stats::set_local_counters(&counters_[id].get());
+    workers_[id]->handle = pthread_self();
+    if constexpr (family == sched_family::signal) {
+      detail::set_exposure_hook(&exposure_trampoline, &workers_[id]->deque);
+    }
+  }
+
+  void unregister_worker() noexcept {
+    if constexpr (family == sched_family::signal) {
+      detail::clear_exposure_hook();
+    }
+    stats::set_local_counters(nullptr);
+    set_this_worker_id(npos_worker);
+  }
+
+  // SIGUSR1 lands here on the victim's thread (signal family only):
+  // transfer work to the public part in constant time (Section 4).
+  static void exposure_trampoline(void* ctx) noexcept {
+    Policy::expose(*static_cast<deque_type*>(ctx));
+  }
+
+  // ---- per-family deque protocol -----------------------------------------
+
+  void push(std::size_t self, job* task) {
+    workers_[self]->deque.push_bottom(task);
+    if constexpr (family == sched_family::signal) {
+      // A fresh push means there is (new) work that could be exposed, so
+      // notifications become useful again (Section 4: the flag is reset
+      // when the target pushes a new task).
+      auto& flag = targeted_[self].get();
+      if (flag.load(std::memory_order_relaxed)) {
+        flag.store(false, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Local half of Listing 1 / Listing 3's get_task: own private part, then
+  // own public part.
+  job* get_local(std::size_t self) {
+    auto& d = workers_[self]->deque;
+    if constexpr (family == sched_family::ws) {
+      return d.pop_bottom();
+    } else if constexpr (family == sched_family::user_space) {
+      // Listing 1 lines 7-17.
+      job* task = Policy::pop_local(d);
+      if (task == nullptr) {
+        if constexpr (Policy::unexposes) {
+          // Lace-style: reclaim still-unstolen public work back into the
+          // private part, then retry the fence-free pop.
+          if (d.unexpose_half() > 0) task = Policy::pop_local(d);
+        }
+      }
+      if (task != nullptr) {
+        auto& flag = targeted_[self].get();
+        if (flag.load(std::memory_order_relaxed)) {
+          flag.store(false, std::memory_order_relaxed);
+          Policy::expose(d);
+        }
+        return task;
+      }
+      task = d.pop_public_bottom();
+      if (task != nullptr) return task;
+      targeted_[self]->store(false, std::memory_order_relaxed);
+      return nullptr;
+    } else if constexpr (family == sched_family::mailbox) {
+      // pop_bottom polls and answers a pending steal request; when the
+      // stack is empty the poll still runs, which keeps the victim
+      // responsive while it spins in a join or idle loop.
+      return d.pop_bottom();
+    } else {  // signal family
+      job* task = Policy::pop_local(d);
+      if (task != nullptr) return task;
+      task = d.pop_public_bottom();
+      if (task != nullptr) {
+        // A task left the public part: allow new notifications.
+        targeted_[self]->store(false, std::memory_order_relaxed);
+        return task;
+      }
+      return nullptr;
+    }
+  }
+
+  // Thief half: one steal attempt against `victim`.
+  job* try_steal(std::size_t victim) {
+    if constexpr (family == sched_family::mailbox) {
+      return mailbox_steal(victim);
+    } else {
+      return deque_steal(victim);
+    }
+  }
+
+  // Mailbox protocol (private_deques): post a request, spin for the
+  // answer, retract on timeout. The victim answers at its next scheduling
+  // point — which may be far away if it is inside a long sequential task
+  // (the documented weakness of the approach).
+  job* mailbox_steal(std::size_t victim) {
+    const std::size_t self = this_worker_id();
+    auto& box = workers_[self]->mail;
+    box.answer.store(steal_box<job>::pending(), std::memory_order_relaxed);
+    auto& d = workers_[victim]->deque;
+    stats::count_steal_attempt();
+    if (!d.post_request(&box)) return nullptr;  // victim busy with another
+    stats::count_exposure_request();
+    bool retracted = false;
+    for (int spin = 0;; ++spin) {
+      job* answer = box.answer.load(std::memory_order_acquire);
+      if (answer != steal_box<job>::pending()) {
+        if (answer != nullptr) stats::count_steal_success();
+        return answer;
+      }
+      if (!retracted && spin > 512) {
+        if (d.retract_request(&box)) return nullptr;
+        retracted = true;  // victim is answering: the box fills imminently
+      }
+      if ((spin & 15) == 15) {
+        std::this_thread::yield();
+      } else {
+        cpu_relax();
+      }
+    }
+  }
+
+  job* deque_steal(std::size_t victim) {
+    auto& d = workers_[victim]->deque;
+    const auto result = d.pop_top();
+    if (result.status == steal_status::stolen) {
+      if constexpr (family == sched_family::signal) {
+        // A task left the victim's public part: allow new notifications.
+        targeted_[victim]->store(false, std::memory_order_relaxed);
+      }
+      return result.task;
+    }
+    if (result.status == steal_status::private_work) {
+      if constexpr (family == sched_family::user_space) {
+        // Listing 1 line 22: ask the victim to expose on its next
+        // scheduling round.
+        auto& flag = targeted_[victim].get();
+        if (!flag.load(std::memory_order_relaxed)) {
+          stats::count_exposure_request();
+          flag.store(true, std::memory_order_relaxed);
+        }
+      } else if constexpr (family == sched_family::signal) {
+        // Listing 3 lines 8-11 (plus Conservative's has_two_tasks gate).
+        auto& flag = targeted_[victim].get();
+        if (!flag.load(std::memory_order_relaxed) &&
+            Policy::should_signal(d)) {
+          flag.store(true, std::memory_order_relaxed);
+          stats::count_exposure_request();
+          if (detail::send_exposure_request(workers_[victim]->handle)) {
+            stats::count_signal_sent();
+          }
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  job* steal_once(std::size_t self) {
+    if (nworkers_ == 1) return nullptr;
+    auto& rng = workers_[self]->rng;
+    std::size_t victim = rng.bounded(nworkers_ - 1);
+    if (victim >= self) ++victim;  // uniform over the other workers
+    return try_steal(victim);
+  }
+
+  job* find_task(std::size_t self) {
+    if (job* task = get_local(self)) return task;
+    return steal_once(self);
+  }
+
+  void execute(job* task) {
+    stats::count_task_executed();
+    task->execute();
+  }
+
+  // ---- join / worker loop --------------------------------------------------
+
+  void join(std::size_t self, job& waited) {
+    backoff bo;
+    while (!waited.is_done()) {
+      if (job* task = find_task(self)) {
+        execute(task);
+        bo.reset();
+      } else {
+        stats::count_idle_loop();
+        bo.pause();
+      }
+    }
+  }
+
+  void worker_loop(std::size_t id) {
+    register_worker(id);
+    name_this_thread("lcws-w" + std::to_string(id));
+    ready_.fetch_add(1, std::memory_order_release);
+    backoff bo;
+    while (true) {
+      if (shutdown_.load(std::memory_order_acquire)) break;
+      if (!active_.load(std::memory_order_acquire)) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_cv_.wait(lock, [this] {
+          return active_.load(std::memory_order_acquire) ||
+                 shutdown_.load(std::memory_order_acquire);
+        });
+        continue;
+      }
+      if (job* task = find_task(id)) {
+        execute(task);
+        bo.reset();
+      } else {
+        stats::count_idle_loop();
+        bo.pause();
+      }
+    }
+    unregister_worker();
+  }
+
+  const std::size_t nworkers_;
+  std::vector<std::unique_ptr<worker_state>> workers_;
+  std::vector<cache_aligned<std::atomic<bool>>> targeted_;
+  mutable std::vector<cache_aligned<stats::op_counters>> counters_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::size_t> ready_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> active_{false};
+  std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  const std::thread::id owner_;
+};
+
+using ws_scheduler = scheduler<ws_policy>;
+using uslcws_scheduler = scheduler<uslcws_policy>;
+using signal_scheduler = scheduler<signal_policy>;
+using conservative_scheduler = scheduler<conservative_policy>;
+using expose_half_scheduler = scheduler<expose_half_policy>;
+using private_deques_scheduler = scheduler<private_deques_policy>;
+using lace_scheduler = scheduler<lace_policy>;
+
+}  // namespace lcws

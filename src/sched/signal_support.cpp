@@ -1,0 +1,64 @@
+#include "sched/signal_support.h"
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace lcws::detail {
+namespace {
+
+struct hook_slot {
+  exposure_hook hook = nullptr;
+  void* context = nullptr;
+};
+
+thread_local hook_slot tl_hook;
+
+std::atomic<unsigned long long> g_handler_runs{0};
+
+void exposure_signal_handler(int /*signo*/) {
+  // No errno-touching calls in here; the hooks only operate on lock-free
+  // atomics of this thread's own deque.
+  const hook_slot slot = tl_hook;
+  if (slot.hook != nullptr) slot.hook(slot.context);
+  g_handler_runs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int exposure_signal() noexcept { return SIGUSR1; }
+
+void install_exposure_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action {};
+    action.sa_handler = &exposure_signal_handler;
+    sigemptyset(&action.sa_mask);
+    // SA_RESTART: an exposure request must not make syscalls in user tasks
+    // fail with EINTR.
+    action.sa_flags = SA_RESTART;
+    if (sigaction(exposure_signal(), &action, nullptr) != 0) {
+      std::perror("lcws: sigaction(SIGUSR1)");
+      std::abort();
+    }
+  });
+}
+
+void set_exposure_hook(exposure_hook hook, void* context) noexcept {
+  tl_hook = hook_slot{hook, context};
+}
+
+void clear_exposure_hook() noexcept { tl_hook = hook_slot{}; }
+
+bool send_exposure_request(pthread_t target) noexcept {
+  return pthread_kill(target, exposure_signal()) == 0;
+}
+
+unsigned long long handler_invocations() noexcept {
+  return g_handler_runs.load(std::memory_order_relaxed);
+}
+
+}  // namespace lcws::detail

@@ -1,0 +1,41 @@
+// Process-wide plumbing for the signal-based LCWS schedulers (Section 4).
+//
+// A thief that finds only private work in a victim's deque sends the victim
+// SIGUSR1 (Listing 3). The handler runs on the victim's thread and must
+// transfer work to the public part of *that thread's* deque, so the hook it
+// invokes is stored in thread-local state that each worker registers on
+// entry.
+//
+// The handler is async-signal-safe by construction: the registered hooks
+// only load/store lock-free std::atomic fields of the handler thread's own
+// split deque (see split_deque.h). Accessing thread_local storage from a
+// signal handler is unspecified by the standard but reliable on
+// Linux/glibc, which is the platform the paper targets (Debian 11).
+#pragma once
+
+#include <pthread.h>
+
+namespace lcws::detail {
+
+// Signature of a work-exposure hook: called with the context registered by
+// the thread the signal was delivered to.
+using exposure_hook = void (*)(void*) noexcept;
+
+// The signal used for exposure requests.
+int exposure_signal() noexcept;
+
+// Installs the process-wide SIGUSR1 handler (idempotent, thread-safe).
+void install_exposure_handler();
+
+// Registers/clears the calling thread's exposure hook.
+void set_exposure_hook(exposure_hook hook, void* context) noexcept;
+void clear_exposure_hook() noexcept;
+
+// Sends an exposure request to `target`. Returns false if delivery failed
+// (e.g. the thread already exited).
+bool send_exposure_request(pthread_t target) noexcept;
+
+// Test hook: number of times the handler ran in this process.
+unsigned long long handler_invocations() noexcept;
+
+}  // namespace lcws::detail

@@ -1,0 +1,84 @@
+#include "stats/counters.h"
+
+#include <sstream>
+
+namespace lcws::stats {
+namespace {
+thread_local op_counters tl_fallback;
+thread_local op_counters* tl_active = nullptr;
+}  // namespace
+
+op_counters& op_counters::operator+=(const op_counters& other) noexcept {
+  fences += other.fences;
+  cas += other.cas;
+  cas_failed += other.cas_failed;
+  pushes += other.pushes;
+  pops_private += other.pops_private;
+  pops_public += other.pops_public;
+  steal_attempts += other.steal_attempts;
+  steals += other.steals;
+  steal_aborts += other.steal_aborts;
+  private_work_seen += other.private_work_seen;
+  exposures += other.exposures;
+  exposure_requests += other.exposure_requests;
+  unexposures += other.unexposures;
+  signals_sent += other.signals_sent;
+  tasks_executed += other.tasks_executed;
+  idle_loops += other.idle_loops;
+  return *this;
+}
+
+op_counters operator-(op_counters a, const op_counters& b) noexcept {
+  a.fences -= b.fences;
+  a.cas -= b.cas;
+  a.cas_failed -= b.cas_failed;
+  a.pushes -= b.pushes;
+  a.pops_private -= b.pops_private;
+  a.pops_public -= b.pops_public;
+  a.steal_attempts -= b.steal_attempts;
+  a.steals -= b.steals;
+  a.steal_aborts -= b.steal_aborts;
+  a.private_work_seen -= b.private_work_seen;
+  a.exposures -= b.exposures;
+  a.exposure_requests -= b.exposure_requests;
+  a.unexposures -= b.unexposures;
+  a.signals_sent -= b.signals_sent;
+  a.tasks_executed -= b.tasks_executed;
+  a.idle_loops -= b.idle_loops;
+  return a;
+}
+
+op_counters& local_counters() noexcept {
+  return tl_active != nullptr ? *tl_active : tl_fallback;
+}
+
+void set_local_counters(op_counters* block) noexcept { tl_active = block; }
+
+profile aggregate(const std::vector<cache_aligned<op_counters>>& blocks) {
+  profile p;
+  for (const auto& block : blocks) p.totals += block.get();
+  return p;
+}
+
+std::string format_profile(const profile& p) {
+  const auto& t = p.totals;
+  std::ostringstream out;
+  out << "fences=" << t.fences << " cas=" << t.cas << " (failed "
+      << t.cas_failed << ")\n"
+      << "pushes=" << t.pushes << " pops_private=" << t.pops_private
+      << " pops_public=" << t.pops_public << "\n"
+      << "steal_attempts=" << t.steal_attempts << " steals=" << t.steals
+      << " aborts=" << t.steal_aborts
+      << " private_work_seen=" << t.private_work_seen << "\n"
+      << "exposures=" << t.exposures
+      << " exposure_requests=" << t.exposure_requests
+      << " unexposures=" << t.unexposures
+      << " signals_sent=" << t.signals_sent << "\n"
+      << "tasks_executed=" << t.tasks_executed
+      << " idle_loops=" << t.idle_loops << "\n"
+      << "exposed_not_stolen=" << p.exposed_not_stolen_fraction()
+      << " steal_success_rate=" << p.steal_success_rate() << "\n";
+  return out.str();
+}
+
+}  // namespace lcws::stats

@@ -1,0 +1,180 @@
+// Synchronization-operation instrumentation.
+//
+// The LCWS paper's profiles (Figs 3 and 8) compare, between schedulers, the
+// number of memory fences, CAS instructions, steal attempts/successes and
+// the amount of exposed-but-not-stolen work. Every deque and scheduler in
+// this library reports those events here.
+//
+// Counting must not perturb what it measures: each worker increments a
+// plain (non-atomic) cache-line-private block through a thread-local
+// pointer; aggregation only happens when a harness asks for totals.
+// Define LCWS_NO_STATS to compile the counting away entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/align.h"
+
+namespace lcws::stats {
+
+// A single-writer event counter. Only the owning thread (including its
+// signal handlers, which never interleave with its own increments mid-
+// instruction) writes; harnesses read concurrently while monitoring. The
+// load+store increment compiles to a plain `inc` — no RMW — yet every
+// access is a relaxed atomic, so cross-thread profile reads are formally
+// race-free (monitoring reads may lag by an increment; aggregation while
+// quiescent is exact).
+class relaxed_counter {
+ public:
+  relaxed_counter() = default;
+  relaxed_counter(std::uint64_t v) noexcept : value_(v) {}  // NOLINT: implicit
+  relaxed_counter(const relaxed_counter& other) noexcept : value_(other.get()) {}
+  relaxed_counter& operator=(const relaxed_counter& other) noexcept {
+    value_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+  relaxed_counter& operator=(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return get(); }  // NOLINT
+
+  // Single-writer increment: load+store, not an atomic RMW.
+  relaxed_counter& operator+=(std::uint64_t n) noexcept {
+    value_.store(get() + n, std::memory_order_relaxed);
+    return *this;
+  }
+  relaxed_counter& operator++() noexcept { return *this += 1; }
+  relaxed_counter& operator-=(std::uint64_t n) noexcept {
+    value_.store(get() - n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// One worker's event counts. Single-writer (the owning thread; signal
+// handlers run on the owning thread too).
+struct op_counters {
+  relaxed_counter fences;          // atomic_thread_fence(seq_cst) executed
+  relaxed_counter cas;             // compare_exchange executed
+  relaxed_counter cas_failed;      // ... of which failed
+  relaxed_counter pushes;          // push_bottom
+  relaxed_counter pops_private;    // successful pop_bottom
+  relaxed_counter pops_public;     // successful pop_public_bottom (owner
+                                   // re-took work it had exposed)
+  relaxed_counter steal_attempts;  // pop_top calls by thieves
+  relaxed_counter steals;          // ... of which returned a task
+  relaxed_counter steal_aborts;    // ... of which lost the CAS race
+  relaxed_counter private_work_seen;  // pop_top returned PRIVATE_WORK
+  relaxed_counter exposures;       // update_public_bottom transfers
+                                   // (tasks moved private -> public)
+  relaxed_counter exposure_requests;  // targeted flag flips false->true
+  relaxed_counter unexposures;     // tasks reclaimed public -> private
+                                   // (Lace-style schedulers only)
+  relaxed_counter signals_sent;    // pthread_kill(SIGUSR1) system calls
+  relaxed_counter tasks_executed;  // jobs actually run by this worker
+  relaxed_counter idle_loops;      // scheduling-loop iterations w/o a task
+
+  op_counters& operator+=(const op_counters& other) noexcept;
+  friend op_counters operator-(op_counters a, const op_counters& b) noexcept;
+};
+
+// Totals with the derived quantities the paper plots.
+struct profile {
+  op_counters totals;
+
+  // Exposed tasks that were *not* stolen end up re-taken by their owner via
+  // pop_public_bottom; Fig 3d / Fig 8d plot this fraction.
+  double exposed_not_stolen_fraction() const noexcept {
+    return totals.exposures == 0
+               ? 0.0
+               : static_cast<double>(totals.pops_public) /
+                     static_cast<double>(totals.exposures);
+  }
+  double steal_success_rate() const noexcept {
+    return totals.steal_attempts == 0
+               ? 0.0
+               : static_cast<double>(totals.steals) /
+                     static_cast<double>(totals.steal_attempts);
+  }
+};
+
+// ---- per-thread counting interface --------------------------------------
+
+// Returns the calling thread's active counter block. Worker pools point
+// this at a pool-owned, cache-aligned per-worker block for the duration of
+// a run; other threads fall back to a thread_local block.
+op_counters& local_counters() noexcept;
+
+// Redirects this thread's counting to `block` (nullptr restores the
+// thread_local fallback). Used by worker pools.
+void set_local_counters(op_counters* block) noexcept;
+
+#ifdef LCWS_NO_STATS
+inline void count_fence() noexcept {}
+inline void count_cas(bool /*success*/) noexcept {}
+inline void count_push() noexcept {}
+inline void count_pop_private() noexcept {}
+inline void count_pop_public() noexcept {}
+inline void count_steal_attempt() noexcept {}
+inline void count_steal_success() noexcept {}
+inline void count_steal_abort() noexcept {}
+inline void count_private_work_seen() noexcept {}
+inline void count_exposure(std::uint64_t n = 1) noexcept { (void)n; }
+inline void count_exposure_request() noexcept {}
+inline void count_unexposure(std::uint64_t n = 1) noexcept { (void)n; }
+inline void count_signal_sent() noexcept {}
+inline void count_task_executed() noexcept {}
+inline void count_idle_loop() noexcept {}
+#else
+inline void count_fence() noexcept { ++local_counters().fences; }
+inline void count_cas(bool success) noexcept {
+  auto& c = local_counters();
+  ++c.cas;
+  if (!success) ++c.cas_failed;
+}
+inline void count_push() noexcept { ++local_counters().pushes; }
+inline void count_pop_private() noexcept { ++local_counters().pops_private; }
+inline void count_pop_public() noexcept { ++local_counters().pops_public; }
+inline void count_steal_attempt() noexcept {
+  ++local_counters().steal_attempts;
+}
+inline void count_steal_success() noexcept { ++local_counters().steals; }
+inline void count_steal_abort() noexcept { ++local_counters().steal_aborts; }
+inline void count_private_work_seen() noexcept {
+  ++local_counters().private_work_seen;
+}
+inline void count_exposure(std::uint64_t n = 1) noexcept {
+  local_counters().exposures += n;
+}
+inline void count_exposure_request() noexcept {
+  ++local_counters().exposure_requests;
+}
+inline void count_unexposure(std::uint64_t n = 1) noexcept {
+  local_counters().unexposures += n;
+}
+inline void count_signal_sent() noexcept { ++local_counters().signals_sent; }
+inline void count_task_executed() noexcept {
+  ++local_counters().tasks_executed;
+}
+inline void count_idle_loop() noexcept { ++local_counters().idle_loops; }
+#endif
+
+// ---- aggregation ---------------------------------------------------------
+
+// Sums a set of per-worker blocks into a profile.
+profile aggregate(const std::vector<cache_aligned<op_counters>>& blocks);
+
+// Multi-line human-readable rendering.
+std::string format_profile(const profile& p);
+
+}  // namespace lcws::stats

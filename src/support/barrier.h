@@ -1,0 +1,45 @@
+// Sense-reversing spin barrier.
+//
+// Used by the benchmark harnesses to start all workers' measurement windows
+// together and by tests that need deterministic phase structure. Unlike
+// std::barrier it spins with backoff (and therefore also behaves sanely when
+// oversubscribed, thanks to the yield escalation in backoff).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "support/backoff.h"
+
+namespace lcws {
+
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::size_t participants) noexcept
+      : participants_(participants) {}
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  // Blocks until `participants` threads have arrived.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      backoff bo;
+      while (sense_.load(std::memory_order_acquire) != my_sense) bo.pause();
+    }
+  }
+
+  std::size_t participants() const noexcept { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace lcws

@@ -1,0 +1,76 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Work-stealing victim selection and the PBBS input-instance generators both
+// need fast, reproducible randomness. std::mt19937 is too heavy for the
+// steal loop (its state does not fit a cache line); we use splitmix64 for
+// seeding/hashing and xoshiro256** for bulk generation, both public-domain
+// algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lcws {
+
+// splitmix64: also usable as a strong 64-bit mixing/hash function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of a 64-bit value (one splitmix64 round).
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+// xoshiro256**: 256-bit state, period 2^256-1, passes BigCrush.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // Seed the full state through splitmix64 as the authors recommend.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias worth caring about for
+  // victim selection (Lemire's multiply-shift reduction).
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace lcws

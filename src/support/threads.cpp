@@ -1,0 +1,30 @@
+#include "support/threads.h"
+
+#include <sched.h>
+
+#include <cstring>
+
+namespace lcws {
+namespace {
+thread_local std::size_t tl_worker_id = npos_worker;
+}  // namespace
+
+std::size_t this_worker_id() noexcept { return tl_worker_id; }
+
+void set_this_worker_id(std::size_t id) noexcept { tl_worker_id = id; }
+
+bool pin_this_thread(std::size_t cpu) noexcept {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+void name_this_thread(const std::string& name) noexcept {
+  char buf[16];
+  std::strncpy(buf, name.c_str(), sizeof(buf) - 1);
+  buf[sizeof(buf) - 1] = '\0';
+  pthread_setname_np(pthread_self(), buf);
+}
+
+}  // namespace lcws

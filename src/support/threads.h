@@ -1,0 +1,32 @@
+// Thread identity, naming and (best-effort) pinning.
+//
+// Every scheduler worker registers itself here so that the split deque's
+// SIGUSR1 exposure handler — which runs with no arguments on whatever
+// thread the kernel delivers to — can find the per-thread scheduler state.
+#pragma once
+
+#include <pthread.h>
+
+#include <cstddef>
+#include <string>
+
+namespace lcws {
+
+// Scheduling identifier of the calling thread within its worker pool, or
+// npos_worker when the thread is not a pool worker (e.g. the main thread
+// before it enters a pool).
+inline constexpr std::size_t npos_worker = static_cast<std::size_t>(-1);
+
+// Thread-local worker id, set by the worker pool on entry.
+std::size_t this_worker_id() noexcept;
+void set_this_worker_id(std::size_t id) noexcept;
+
+// Best-effort: pins the calling thread to the given logical CPU. Returns
+// false (without failing the program) when pinning is not possible — e.g.
+// inside containers with restricted affinity masks.
+bool pin_this_thread(std::size_t cpu) noexcept;
+
+// Best-effort thread naming for debuggers/profilers (<=15 chars on Linux).
+void name_this_thread(const std::string& name) noexcept;
+
+}  // namespace lcws

@@ -1,0 +1,88 @@
+#include "support/topology.h"
+
+#include <sys/utsname.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace lcws {
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Splits "key : value" cpuinfo/meminfo lines.
+bool split_kv(const std::string& line, std::string& key, std::string& value) {
+  const auto colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  key = trim(line.substr(0, colon));
+  value = trim(line.substr(colon + 1));
+  return true;
+}
+
+}  // namespace
+
+machine_info probe_machine() {
+  machine_info info;
+  info.logical_cpus = std::thread::hardware_concurrency();
+  if (info.logical_cpus == 0) info.logical_cpus = 1;
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::set<std::string> physical_ids;
+  std::set<std::pair<std::string, std::string>> cores;  // (physical id, core id)
+  std::string current_physical_id;
+  std::string line, key, value;
+  while (std::getline(cpuinfo, line)) {
+    if (!split_kv(line, key, value)) continue;
+    if (key == "model name" && info.cpu_model.empty()) {
+      info.cpu_model = value;
+    } else if (key == "physical id") {
+      current_physical_id = value;
+      physical_ids.insert(value);
+    } else if (key == "core id") {
+      cores.insert({current_physical_id, value});
+    }
+  }
+  info.sockets = physical_ids.size();
+  info.physical_cores = cores.size();
+
+  std::ifstream meminfo("/proc/meminfo");
+  while (std::getline(meminfo, line)) {
+    if (!split_kv(line, key, value)) continue;
+    if (key == "MemTotal") {
+      std::istringstream iss(value);
+      std::size_t kib = 0;
+      iss >> kib;
+      info.memory_bytes = kib * 1024;
+      break;
+    }
+  }
+
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    info.os = std::string(uts.sysname) + " " + uts.release;
+  }
+  return info;
+}
+
+std::string format_machine(const machine_info& info) {
+  std::ostringstream out;
+  out << "CPU:    " << (info.cpu_model.empty() ? "unknown" : info.cpu_model)
+      << "\n";
+  out << "Topo:   " << info.sockets << " socket(s), " << info.physical_cores
+      << " core(s), " << info.logical_cpus << " hardware thread(s)\n";
+  out << "Memory: " << (info.memory_bytes >> 20) << " MiB\n";
+  out << "OS:     " << (info.os.empty() ? "unknown" : info.os) << "\n";
+  return out.str();
+}
+
+}  // namespace lcws

@@ -1,0 +1,30 @@
+// Hardware topology probe.
+//
+// bench/table1_machines reproduces the paper's Table 1 (the machines used in
+// the evaluation) by reporting the local host's CPU model, core/thread
+// counts and memory — so EXPERIMENTS.md can record paper-vs-local hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lcws {
+
+struct machine_info {
+  std::string cpu_model;        // e.g. "AMD Opteron 6272"
+  std::size_t logical_cpus;     // threads visible to the OS
+  std::size_t physical_cores;   // best-effort (core id count); 0 if unknown
+  std::size_t sockets;          // best-effort; 0 if unknown
+  std::size_t memory_bytes;     // MemTotal; 0 if unknown
+  std::string os;               // kernel identification
+};
+
+// Probes /proc/cpuinfo, /proc/meminfo and uname. Never throws; missing
+// information is left zero/empty.
+machine_info probe_machine();
+
+// Human-readable one-paragraph rendering, in the shape of the paper's
+// Table 1 row.
+std::string format_machine(const machine_info& info);
+
+}  // namespace lcws

@@ -1,0 +1,170 @@
+// Cross-module integration tests: the whole stack (scheduler + toolkit +
+// workloads) under stress, determinism across schedulers, and pool
+// lifecycle robustness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "parallel/integer_sort.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+#include "parallel/scan.h"
+#include "parallel/sort.h"
+#include "pbbs/runner.h"
+#include "sched/dispatch.h"
+#include "sched/scheduler.h"
+
+namespace lcws {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinism across schedulers: every deterministic workload must produce
+// bit-identical results no matter which scheduler ran it (scheduling must
+// not leak into outputs).
+// ---------------------------------------------------------------------------
+
+TEST(Integration, SortOutputsIdenticalAcrossSchedulers) {
+  std::vector<std::uint64_t> input(100000);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = hash64(i) % 5000;
+
+  std::vector<std::vector<std::uint64_t>> results;
+  for (const sched_kind kind : all_sched_kinds) {
+    auto v = input;
+    with_scheduler(kind, 4, [&](auto& sched) {
+      sched.run([&] { par::sort(sched, v, std::less<>{}, 512); });
+    });
+    results.push_back(std::move(v));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], results[0]) << to_string(all_sched_kinds[i]);
+  }
+}
+
+TEST(Integration, ScanTotalsIdenticalAcrossWorkerCounts) {
+  std::vector<std::uint64_t> input(77777);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = hash64(i) % 100;
+  std::vector<std::uint64_t> reference;
+  for (const std::size_t workers : {1u, 2u, 3u, 8u}) {
+    signal_scheduler sched(workers);
+    std::vector<std::uint64_t> out(input.size());
+    sched.run([&] {
+      par::scan_add(sched, input.begin(), out.begin(), input.size(),
+                    std::uint64_t{0});
+    });
+    if (reference.empty()) {
+      reference = std::move(out);
+    } else {
+      ASSERT_EQ(out, reference) << workers << " workers";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Integration, ManyPoolsSequentially) {
+  for (int round = 0; round < 20; ++round) {
+    const sched_kind kind =
+        all_sched_kinds[static_cast<std::size_t>(round) %
+                        std::size(all_sched_kinds)];
+    const auto n = with_scheduler(kind, 3, [](auto& sched) {
+      std::atomic<int> count{0};
+      sched.run([&] {
+        par::parallel_for(sched, 0, 1000,
+                          [&](std::size_t) { count.fetch_add(1); });
+      });
+      return count.load();
+    });
+    ASSERT_EQ(n, 1000);
+  }
+}
+
+TEST(Integration, IdlePoolTearsDownCleanly) {
+  // Construct and destroy pools that never run anything: workers must park
+  // on the condition variable and leave on shutdown.
+  for (int i = 0; i < 10; ++i) {
+    signal_scheduler sched(4);
+  }
+}
+
+TEST(Integration, PoolSurvivesBackToBackRunsWithIdleGaps) {
+  expose_half_scheduler sched(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    sched.run([&] {
+      par::parallel_for(sched, 0, 10000, [&](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+    ASSERT_EQ(sum.load(), 10000ull * 9999 / 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // go idle
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Heavy mixed workload under every scheduler (stress; oversubscribed)
+// ---------------------------------------------------------------------------
+
+TEST(Integration, MixedPipelineAllSchedulers) {
+  for (const sched_kind kind : all_sched_kinds) {
+    with_scheduler(kind, 6, [&](auto& sched) {
+      std::vector<std::uint32_t> v(60000);
+      sched.run([&] {
+        par::parallel_for(sched, 0, v.size(), [&](std::size_t i) {
+          v[i] = static_cast<std::uint32_t>(hash64(i) % 1000);
+        });
+        par::integer_sort(sched, v, 10);
+      });
+      ASSERT_TRUE(std::is_sorted(v.begin(), v.end())) << to_string(kind);
+      const auto total = sched.run([&] {
+        return par::sum<std::uint64_t>(sched, v.begin(), v.size());
+      });
+      std::uint64_t expected = 0;
+      for (const auto x : v) expected += x;
+      ASSERT_EQ(total, expected) << to_string(kind);
+    });
+  }
+}
+
+// The runner's counter profiles must reflect the family contracts on a
+// realistic workload (not just fib): WS exposes nothing; USLCWS signals
+// nothing; split-deque schedulers fence far less than WS.
+TEST(Integration, RunnerProfilesMatchFamilyContracts) {
+  pbbs::clear_input_cache();
+  const pbbs::config cfg{"comparisonSort", "randomSeq_double"};
+  const auto ws = pbbs::run_config(sched_kind::ws, 4, cfg, 60000, 2, false);
+  const auto us =
+      pbbs::run_config(sched_kind::uslcws, 4, cfg, 60000, 2, false);
+  const auto sig =
+      pbbs::run_config(sched_kind::signal, 4, cfg, 60000, 2, false);
+
+  EXPECT_EQ(ws.profile.totals.exposures, 0u);
+  EXPECT_EQ(ws.profile.totals.signals_sent, 0u);
+  EXPECT_EQ(us.profile.totals.signals_sent, 0u);
+  EXPECT_GT(ws.profile.totals.fences, 0u);
+  EXPECT_LT(us.profile.totals.fences * 5, ws.profile.totals.fences);
+  EXPECT_LT(sig.profile.totals.fences * 5, ws.profile.totals.fences);
+  pbbs::clear_input_cache();
+}
+
+// Tasks pushed == tasks executed == tasks consumed, on a full PBBS
+// workload under the signal scheduler (global conservation law).
+TEST(Integration, TaskConservationOnRealWorkload) {
+  pbbs::clear_input_cache();
+  const auto r = pbbs::run_config(sched_kind::signal, 4,
+                                  {"convexHull", "2DinCube"}, 50000, 1,
+                                  true);
+  ASSERT_TRUE(r.ok);
+  const auto& t = r.profile.totals;
+  EXPECT_EQ(t.tasks_executed, t.pushes);
+  EXPECT_EQ(t.pops_private + t.pops_public + t.steals, t.pushes);
+  pbbs::clear_input_cache();
+}
+
+}  // namespace
+}  // namespace lcws

@@ -1,0 +1,54 @@
+// Verifies the LCWS_NO_STATS compile mode: the counting helpers become
+// no-ops (profiles stay zero) while the schedulers remain fully
+// functional. This TU is compiled with -DLCWS_NO_STATS (see CMakeLists).
+#ifndef LCWS_NO_STATS
+#error "this test must be compiled with LCWS_NO_STATS"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+#include "sched/scheduler.h"
+
+namespace lcws {
+namespace {
+
+TEST(NoStats, SchedulersStillWork) {
+  signal_scheduler sched(4);
+  std::vector<std::uint32_t> v(100000);
+  sched.run([&] {
+    par::parallel_for(sched, 0, v.size(), [&](std::size_t i) {
+      v[i] = static_cast<std::uint32_t>(i);
+    });
+  });
+  const auto total = sched.run(
+      [&] { return par::sum<std::uint64_t>(sched, v.begin(), v.size()); });
+  EXPECT_EQ(total, 99999ull * 100000 / 2);
+}
+
+TEST(NoStats, ProfileStaysZero) {
+  ws_scheduler sched(4);
+  std::atomic<int> count{0};
+  sched.run([&] {
+    par::parallel_for(sched, 0, 10000, [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 10000);
+  const auto t = sched.profile().totals;
+  EXPECT_EQ(static_cast<std::uint64_t>(t.fences), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.cas), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.pushes), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.tasks_executed), 0u);
+}
+
+TEST(NoStats, DirectCountersStillCompile) {
+  stats::count_fence();
+  stats::count_cas(true);
+  stats::count_exposure(5);
+  EXPECT_EQ(static_cast<std::uint64_t>(stats::local_counters().fences), 0u);
+}
+
+}  // namespace
+}  // namespace lcws

@@ -1,0 +1,713 @@
+// Tests for the Parlay-like parallel toolkit, run over both a baseline WS
+// scheduler and a signal-based LCWS scheduler so every algorithm exercises
+// both deque protocols.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parallel/hash_table.h"
+#include "parallel/histogram.h"
+#include "parallel/integer_sort.h"
+#include "parallel/merge.h"
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "parallel/collect_reduce.h"
+#include "parallel/random.h"
+#include "parallel/reduce.h"
+#include "parallel/sample_sort.h"
+#include "parallel/scan.h"
+#include "parallel/parallel_invoke.h"
+#include "parallel/sort.h"
+#include "parallel/tokens.h"
+#include "sched/scheduler.h"
+#include "support/rng.h"
+
+namespace lcws {
+namespace {
+
+template <typename Sched>
+class ParallelTest : public ::testing::Test {
+ protected:
+  Sched sched{4};
+};
+
+using tested_schedulers = ::testing::Types<ws_scheduler, signal_scheduler>;
+TYPED_TEST_SUITE(ParallelTest, tested_schedulers);
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, ParallelForTouchesEveryIndexOnce) {
+  constexpr std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  this->sched.run([&] {
+    par::parallel_for(this->sched, 0, n,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TYPED_TEST(ParallelTest, ParallelForEmptyAndSingleton) {
+  std::atomic<int> count{0};
+  this->sched.run([&] {
+    par::parallel_for(this->sched, 5, 5, [&](std::size_t) { count++; });
+    par::parallel_for(this->sched, 7, 8, [&](std::size_t i) {
+      count += static_cast<int>(i);
+    });
+  });
+  EXPECT_EQ(count.load(), 7);
+}
+
+TYPED_TEST(ParallelTest, ParallelForRespectsExplicitGrain) {
+  constexpr std::size_t n = 1000;
+  std::vector<int> data(n, 0);
+  this->sched.run([&] {
+    par::parallel_for(this->sched, 0, n, [&](std::size_t i) { data[i] = 1; },
+                      n);  // grain == n: fully sequential, still correct
+  });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0),
+            static_cast<int>(n));
+}
+
+TYPED_TEST(ParallelTest, ParallelForBlockedCoversRange) {
+  constexpr std::size_t n = 12345;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  this->sched.run([&] {
+    par::parallel_for_blocked(this->sched, 0, n,
+                              [&](std::size_t lo, std::size_t hi) {
+                                ASSERT_LT(lo, hi);
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  hits[i].fetch_add(1);
+                                }
+                              });
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+// ---------------------------------------------------------------------------
+// reduce
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, SumMatchesSequential) {
+  std::vector<std::uint32_t> v(50000);
+  xoshiro256 rng(1);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng());
+  const auto expected =
+      std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  const auto got = this->sched.run([&] {
+    return par::sum<std::uint64_t>(this->sched, v.begin(), v.size());
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, MapReduceSquares) {
+  std::vector<std::uint32_t> v(10000);
+  std::iota(v.begin(), v.end(), 0u);
+  const auto got = this->sched.run([&] {
+    return par::map_reduce(
+        this->sched, v.begin(), v.size(), std::uint64_t{0},
+        [](std::uint32_t x) {
+          return static_cast<std::uint64_t>(x) * x;
+        },
+        std::plus<std::uint64_t>{});
+  });
+  std::uint64_t expected = 0;
+  for (const auto x : v) expected += std::uint64_t{x} * x;
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, CountIfAndMax) {
+  std::vector<int> v(30000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>(hash64(i) % 1000);
+  }
+  const auto [evens, biggest] = this->sched.run([&] {
+    return std::pair{
+        par::count_if(this->sched, v.begin(), v.size(),
+                      [](int x) { return x % 2 == 0; }),
+        par::max_value(this->sched, v.begin(), v.size(), -1)};
+  });
+  EXPECT_EQ(evens, static_cast<std::size_t>(std::count_if(
+                       v.begin(), v.end(), [](int x) { return x % 2 == 0; })));
+  EXPECT_EQ(biggest, *std::max_element(v.begin(), v.end()));
+}
+
+TYPED_TEST(ParallelTest, ReduceEmptyReturnsIdentity) {
+  std::vector<int> v;
+  const auto got = this->sched.run([&] {
+    return par::reduce(this->sched, v.begin(), 0, 42, std::plus<int>{});
+  });
+  EXPECT_EQ(got, 42);
+}
+
+// ---------------------------------------------------------------------------
+// scan
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, ScanMatchesSequential) {
+  std::vector<std::uint64_t> v(25931);  // deliberately not block-aligned
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = hash64(i) % 100;
+  std::vector<std::uint64_t> expected(v.size());
+  std::exclusive_scan(v.begin(), v.end(), expected.begin(),
+                      std::uint64_t{0});
+  const std::uint64_t expected_total =
+      std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+
+  std::vector<std::uint64_t> out(v.size());
+  const auto total = this->sched.run([&] {
+    return par::scan_add(this->sched, v.begin(), out.begin(), v.size(),
+                         std::uint64_t{0});
+  });
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(out, expected);
+}
+
+TYPED_TEST(ParallelTest, ScanInPlace) {
+  std::vector<std::uint64_t> v(10000, 1);
+  const auto total = this->sched.run([&] {
+    return par::scan_add(this->sched, v.begin(), v.begin(), v.size(),
+                         std::uint64_t{0});
+  });
+  EXPECT_EQ(total, 10000u);
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], i);
+}
+
+TYPED_TEST(ParallelTest, ScanEmptyAndTiny) {
+  std::vector<int> v{5};
+  std::vector<int> out(1, -1);
+  const auto total0 = this->sched.run([&] {
+    return par::scan_add(this->sched, v.begin(), out.begin(), 0, 0);
+  });
+  EXPECT_EQ(total0, 0);
+  const auto total1 = this->sched.run([&] {
+    return par::scan_add(this->sched, v.begin(), out.begin(), 1, 0);
+  });
+  EXPECT_EQ(total1, 5);
+  EXPECT_EQ(out[0], 0);
+}
+
+// ---------------------------------------------------------------------------
+// pack / filter
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, FilterKeepsOrderedMatches) {
+  std::vector<int> v(40000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>(hash64(i) % 1000);
+  }
+  const auto got = this->sched.run([&] {
+    return par::filter(this->sched, v.begin(), v.size(),
+                       [](int x) { return x < 100; });
+  });
+  std::vector<int> expected;
+  std::copy_if(v.begin(), v.end(), std::back_inserter(expected),
+               [](int x) { return x < 100; });
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, FilterWithHighSelectivity) {
+  // Regression: per-block counts of kept elements exceed 255, which once
+  // truncated through a uint8_t parameter in the scan combine and
+  // corrupted the scatter offsets.
+  std::vector<int> v(200000);
+  std::iota(v.begin(), v.end(), 0);
+  const auto got = this->sched.run([&] {
+    return par::filter(this->sched, v.begin(), v.size(),
+                       [](int x) { return x % 10 != 0; });  // keeps 90%
+  });
+  ASSERT_EQ(got.size(), 180000u);
+  for (std::size_t i = 1; i < got.size(); ++i) ASSERT_LT(got[i - 1], got[i]);
+  for (const int x : got) ASSERT_NE(x % 10, 0);
+}
+
+TYPED_TEST(ParallelTest, PackIndexGeneratesSelectedIndices) {
+  const auto got = this->sched.run([&] {
+    return par::pack_index(
+        this->sched, 1000, [](std::size_t i) { return i % 7 == 0; },
+        [](std::size_t i) { return i; });
+  });
+  ASSERT_EQ(got.size(), 143u);
+  for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], 7 * k);
+}
+
+// ---------------------------------------------------------------------------
+// merge / sort
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, MergeMatchesStdMerge) {
+  xoshiro256 rng(3);
+  std::vector<int> a(20011), b(29989);
+  for (auto& x : a) x = static_cast<int>(rng.bounded(100000));
+  for (auto& x : b) x = static_cast<int>(rng.bounded(100000));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<int> expected(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  std::vector<int> got(a.size() + b.size());
+  this->sched.run([&] {
+    par::merge(this->sched, a.begin(), a.size(), b.begin(), b.size(),
+               got.begin(), std::less<>{}, 512);
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, MergeWithEmptySide) {
+  std::vector<int> a{1, 2, 3}, b;
+  std::vector<int> out(3);
+  this->sched.run([&] {
+    par::merge(this->sched, a.begin(), a.size(), b.begin(), 0, out.begin());
+  });
+  EXPECT_EQ(out, a);
+}
+
+TYPED_TEST(ParallelTest, SortRandomInput) {
+  std::vector<std::uint64_t> v(60000);
+  xoshiro256 rng(4);
+  for (auto& x : v) x = rng();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  this->sched.run([&] { par::sort(this->sched, v, std::less<>{}, 512); });
+  EXPECT_EQ(v, expected);
+}
+
+TYPED_TEST(ParallelTest, SortCustomComparator) {
+  std::vector<int> v(20000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>(hash64(i) % 1000);
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<>{});
+  this->sched.run([&] { par::sort(this->sched, v, std::greater<>{}, 512); });
+  EXPECT_EQ(v, expected);
+}
+
+TYPED_TEST(ParallelTest, SortAlreadySortedAndReversed) {
+  std::vector<int> asc(30000), desc(30000);
+  std::iota(asc.begin(), asc.end(), 0);
+  std::iota(desc.rbegin(), desc.rend(), 0);
+  auto asc_copy = asc;
+  this->sched.run([&] {
+    par::sort(this->sched, asc_copy, std::less<>{}, 512);
+    par::sort(this->sched, desc, std::less<>{}, 512);
+  });
+  EXPECT_EQ(asc_copy, asc);
+  EXPECT_EQ(desc, asc);
+}
+
+TYPED_TEST(ParallelTest, SortTinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    std::vector<int> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(n - i);
+    this->sched.run([&] { par::sort(this->sched, v); });
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end())) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sample sort
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, SampleSortRandomInput) {
+  std::vector<std::uint64_t> v(120000);
+  xoshiro256 rng(14);
+  for (auto& x : v) x = rng();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  this->sched.run([&] { par::sample_sort(this->sched, v); });
+  EXPECT_EQ(v, expected);
+}
+
+TYPED_TEST(ParallelTest, SampleSortAllEqualTerminates) {
+  // Degenerate pivots: everything lands in one bucket; the depth guard
+  // must terminate the recursion.
+  std::vector<int> v(50000, 7);
+  this->sched.run([&] { par::sample_sort(this->sched, v); });
+  for (const int x : v) ASSERT_EQ(x, 7);
+}
+
+TYPED_TEST(ParallelTest, SampleSortFewDistinctKeys) {
+  std::vector<std::uint32_t> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint32_t>(hash64(i) % 4);
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  this->sched.run([&] { par::sample_sort(this->sched, v); });
+  EXPECT_EQ(v, expected);
+}
+
+TYPED_TEST(ParallelTest, SampleSortCustomComparatorAndSmallInput) {
+  std::vector<int> small{3, 1, 2};
+  this->sched.run(
+      [&] { par::sample_sort(this->sched, small, std::greater<>{}); });
+  EXPECT_EQ(small, (std::vector<int>{3, 2, 1}));
+
+  std::vector<double> v(60000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(hash64(i) % 100000) / 7.0;
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<>{});
+  this->sched.run(
+      [&] { par::sample_sort(this->sched, v, std::greater<>{}); });
+  EXPECT_EQ(v, expected);
+}
+
+// ---------------------------------------------------------------------------
+// collect_reduce / group_by
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, CollectReduceSumsPerKey) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items(50000);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = {static_cast<std::uint32_t>(hash64(i) % 50), i};
+  }
+  const auto got = this->sched.run([&] {
+    return par::collect_reduce(
+        this->sched, items.begin(), items.size(), 50,
+        [](const auto& kv) { return kv.first; },
+        [](const auto& kv) { return kv.second; }, std::uint64_t{0},
+        std::plus<std::uint64_t>{});
+  });
+  std::vector<std::uint64_t> expected(50, 0);
+  for (const auto& [k, v] : items) expected[k] += v;
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, CollectReduceMaxPerKey) {
+  std::vector<std::uint32_t> items(30000);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<std::uint32_t>(hash64(i) % 100000);
+  }
+  const auto got = this->sched.run([&] {
+    return par::collect_reduce(
+        this->sched, items.begin(), items.size(), 10,
+        [](std::uint32_t x) { return x % 10; },
+        [](std::uint32_t x) { return x; }, std::uint32_t{0},
+        [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+  });
+  std::vector<std::uint32_t> expected(10, 0);
+  for (const auto x : items) expected[x % 10] = std::max(expected[x % 10], x);
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, GroupByPartitionsIndicesStably) {
+  std::vector<std::uint32_t> items(40000);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<std::uint32_t>(hash64(i) % 17);
+  }
+  const auto groups = this->sched.run([&] {
+    return par::group_by(this->sched, items.begin(), items.size(), 17,
+                         [](std::uint32_t x) { return x; });
+  });
+  ASSERT_EQ(groups.size(), 17u);
+  std::size_t total = 0;
+  for (std::uint32_t k = 0; k < 17; ++k) {
+    for (std::size_t j = 0; j < groups[k].size(); ++j) {
+      ASSERT_EQ(items[groups[k][j]], k);
+      if (j > 0) {
+        ASSERT_LT(groups[k][j - 1], groups[k][j]);  // stable
+      }
+    }
+    total += groups[k].size();
+  }
+  EXPECT_EQ(total, items.size());
+}
+
+TYPED_TEST(ParallelTest, GroupByEmpty) {
+  std::vector<std::uint32_t> items;
+  const auto groups = this->sched.run([&] {
+    return par::group_by(this->sched, items.begin(), 0, 5,
+                         [](std::uint32_t x) { return x; });
+  });
+  ASSERT_EQ(groups.size(), 5u);
+  for (const auto& g : groups) EXPECT_TRUE(g.empty());
+}
+
+// ---------------------------------------------------------------------------
+// integer sort
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, IntegerSortU32) {
+  std::vector<std::uint32_t> v(60000);
+  xoshiro256 rng(5);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng());
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  this->sched.run([&] { par::integer_sort(this->sched, v, 32); });
+  EXPECT_EQ(v, expected);
+}
+
+TYPED_TEST(ParallelTest, IntegerSortNarrowKeys) {
+  std::vector<std::uint32_t> v(50000);
+  xoshiro256 rng(6);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.bounded(256));
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  this->sched.run([&] { par::integer_sort(this->sched, v, 8); });
+  EXPECT_EQ(v, expected);
+}
+
+TYPED_TEST(ParallelTest, IntegerSortPairsIsStable) {
+  // Sort (key, original index) pairs by key only; for equal keys the
+  // original order must survive (radix sort stability).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> v(40000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = {static_cast<std::uint32_t>(hash64(i) % 64),
+            static_cast<std::uint32_t>(i)};
+  }
+  this->sched.run([&] {
+    par::integer_sort(this->sched, v, [](const auto& p) { return p.first; },
+                      6);
+  });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].first, v[i].first);
+    if (v[i - 1].first == v[i].first) {
+      ASSERT_LT(v[i - 1].second, v[i].second) << "stability broken at " << i;
+    }
+  }
+}
+
+TYPED_TEST(ParallelTest, IntegerSortEmptyAndOne) {
+  std::vector<std::uint32_t> empty, one{7};
+  this->sched.run([&] {
+    par::integer_sort(this->sched, empty, 32);
+    par::integer_sort(this->sched, one, 32);
+  });
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one[0], 7u);
+}
+
+// ---------------------------------------------------------------------------
+// histogram
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, HistogramSmallBuckets) {
+  std::vector<std::uint32_t> v(80000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint32_t>(hash64(i) % 100);
+  }
+  const auto got = this->sched.run([&] {
+    return par::histogram(this->sched, v.begin(), v.size(), 100);
+  });
+  std::vector<std::uint64_t> expected(100, 0);
+  for (const auto x : v) ++expected[x];
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, HistogramLargeBucketsUsesAtomics) {
+  constexpr std::size_t buckets = 100000;  // > private-histogram limit
+  std::vector<std::uint32_t> v(60000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint32_t>(hash64(i) % buckets);
+  }
+  const auto got = this->sched.run([&] {
+    return par::histogram(this->sched, v.begin(), v.size(), buckets);
+  });
+  std::vector<std::uint64_t> expected(buckets, 0);
+  for (const auto x : v) ++expected[x];
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(ParallelTest, HistogramEmpty) {
+  std::vector<std::uint32_t> v;
+  const auto got = this->sched.run([&] {
+    return par::histogram(this->sched, v.begin(), 0, 10);
+  });
+  EXPECT_EQ(got, std::vector<std::uint64_t>(10, 0));
+}
+
+// ---------------------------------------------------------------------------
+// hash structures
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, HashSetSequentialSemantics) {
+  par::hash_set<std::uint64_t> set(100);
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(1));
+  EXPECT_TRUE(set.insert(2));
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(3));
+  auto keys = set.keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TYPED_TEST(ParallelTest, HashSetConcurrentInsertCountsUniques) {
+  constexpr std::size_t n = 50000;
+  constexpr std::uint64_t distinct = 1000;
+  par::hash_set<std::uint64_t> set(distinct * 2);
+  std::atomic<std::size_t> inserted{0};
+  this->sched.run([&] {
+    par::parallel_for(this->sched, 0, n, [&](std::size_t i) {
+      if (set.insert(hash64(i) % distinct)) inserted.fetch_add(1);
+    });
+  });
+  // Exactly one insert per distinct key must have returned true.
+  EXPECT_EQ(inserted.load(), distinct);
+  EXPECT_EQ(set.keys().size(), distinct);
+}
+
+TYPED_TEST(ParallelTest, StringCounterMatchesMap) {
+  const std::string corpus =
+      "the quick brown fox jumps over the lazy dog the fox";
+  std::vector<std::string_view> words;
+  std::map<std::string_view, std::uint64_t> expected;
+  std::size_t pos = 0;
+  while (pos < corpus.size()) {
+    auto end = corpus.find(' ', pos);
+    if (end == std::string::npos) end = corpus.size();
+    const std::string_view w(corpus.data() + pos, end - pos);
+    words.push_back(w);
+    ++expected[w];
+    pos = end + 1;
+  }
+  par::string_counter counter(corpus, words.size());
+  for (const auto w : words) counter.add(w);
+  for (const auto& [w, c] : expected) EXPECT_EQ(counter.count(w), c) << w;
+  EXPECT_EQ(counter.count("missing"), 0u);
+  EXPECT_EQ(counter.entries().size(), expected.size());
+}
+
+TYPED_TEST(ParallelTest, StringCounterConcurrentAdds) {
+  // Corpus of 4-letter words; equal words appear at many distinct offsets,
+  // exercising the content-equality path.
+  std::string corpus;
+  constexpr std::size_t n = 20000;
+  std::vector<std::string_view> words;
+  words.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = static_cast<char>('a' + (hash64(i) % 26));
+    corpus.append(4, c);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    words.emplace_back(corpus.data() + 4 * i, 4);
+  }
+  par::string_counter counter(corpus, 26);
+  this->sched.run([&] {
+    par::parallel_for(this->sched, 0, n,
+                      [&](std::size_t i) { counter.add(words[i]); });
+  });
+  std::map<std::string_view, std::uint64_t> expected;
+  for (const auto w : words) ++expected[w];
+  std::uint64_t total = 0;
+  for (const auto& [w, c] : counter.entries()) {
+    EXPECT_EQ(expected.at(w), c);
+    total += c;
+  }
+  EXPECT_EQ(total, n);
+}
+
+// ---------------------------------------------------------------------------
+// tokens / parallel_invoke
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, TokensSplitsOnWhitespace) {
+  const std::string text = "  the quick\tbrown\n\nfox  ";
+  const auto got =
+      this->sched.run([&] { return par::tokens(this->sched, text); });
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], "the");
+  EXPECT_EQ(got[1], "quick");
+  EXPECT_EQ(got[2], "brown");
+  EXPECT_EQ(got[3], "fox");
+}
+
+TYPED_TEST(ParallelTest, TokensEdgeCases) {
+  const std::string empty;
+  EXPECT_TRUE(this->sched
+                  .run([&] { return par::tokens(this->sched, empty); })
+                  .empty());
+  const std::string only_spaces = "    ";
+  EXPECT_TRUE(
+      this->sched
+          .run([&] { return par::tokens(this->sched, only_spaces); })
+          .empty());
+  const std::string no_delims = "single";
+  const auto got = this->sched.run(
+      [&] { return par::tokens(this->sched, no_delims); });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "single");
+}
+
+TYPED_TEST(ParallelTest, TokensLargeTextMatchesSequentialSplit) {
+  std::string text;
+  std::vector<std::string> expected;
+  xoshiro256 rng(21);
+  for (int w = 0; w < 20000; ++w) {
+    std::string word;
+    const std::size_t len = 1 + rng.bounded(8);
+    for (std::size_t c = 0; c < len; ++c) {
+      word.push_back(static_cast<char>('a' + rng.bounded(26)));
+    }
+    expected.push_back(word);
+    text += word;
+    text.append(1 + rng.bounded(3), ' ');
+  }
+  const auto got =
+      this->sched.run([&] { return par::tokens(this->sched, text); });
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k], expected[k]) << k;
+  }
+}
+
+TYPED_TEST(ParallelTest, TokensCustomDelimiter) {
+  const std::string csv = "a,bb,,ccc,";
+  const auto got = this->sched.run([&] {
+    return par::tokens(this->sched, csv, [](char c) { return c == ','; });
+  });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "a");
+  EXPECT_EQ(got[1], "bb");
+  EXPECT_EQ(got[2], "ccc");
+}
+
+TYPED_TEST(ParallelTest, ParallelInvokeRunsAllBranches) {
+  std::atomic<int> mask{0};
+  this->sched.run([&] {
+    par::parallel_invoke(
+        this->sched, [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); },
+        [&] { mask.fetch_or(4); }, [&] { mask.fetch_or(8); },
+        [&] { mask.fetch_or(16); });
+  });
+  EXPECT_EQ(mask.load(), 31);
+}
+
+TYPED_TEST(ParallelTest, ParallelInvokeSingleCallable) {
+  int x = 0;
+  this->sched.run(
+      [&] { par::parallel_invoke(this->sched, [&] { x = 42; }); });
+  EXPECT_EQ(x, 42);
+}
+
+// ---------------------------------------------------------------------------
+// random fill
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(ParallelTest, RandomFillDeterministicAndBounded) {
+  std::vector<std::uint64_t> a(10000), b(10000);
+  this->sched.run([&] {
+    par::random_fill(this->sched, a, 9, 1000);
+    par::random_fill(this->sched, b, 9, 1000);
+  });
+  EXPECT_EQ(a, b);
+  for (const auto x : a) ASSERT_LT(x, 1000u);
+  std::vector<std::uint64_t> c(10000);
+  this->sched.run([&] { par::random_fill(this->sched, c, 10, 1000); });
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace lcws

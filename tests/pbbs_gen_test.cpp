@@ -1,0 +1,229 @@
+// Tests for the PBBS-style input generators and the CSR graph type.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "pbbs/geometry.h"
+#include "pbbs/graph.h"
+#include "pbbs/graph_gen.h"
+#include "pbbs/point_gen.h"
+#include "pbbs/sequence_gen.h"
+#include "pbbs/text_gen.h"
+
+namespace lcws::pbbs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// sequences
+// ---------------------------------------------------------------------------
+
+TEST(SequenceGen, RandomSeqDeterministicAndBounded) {
+  const auto a = random_seq(1000, 100, 7);
+  const auto b = random_seq(1000, 100, 7);
+  EXPECT_EQ(a, b);
+  for (const auto x : a) ASSERT_LT(x, 100u);
+  const auto c = random_seq(1000, 100, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(SequenceGen, RandomSeqRoughlyUniform) {
+  const auto v = random_seq(100000, 10);
+  std::vector<std::size_t> counts(10, 0);
+  for (const auto x : v) ++counts[x];
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 600.0);
+  }
+}
+
+TEST(SequenceGen, ExptSeqIsSkewed) {
+  const auto v = expt_seq(100000, 1 << 20);
+  // The exponential distribution concentrates mass near zero: the median
+  // must be far below the midpoint.
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_LT(sorted[sorted.size() / 2], std::uint64_t{1} << 17);
+  for (const auto x : v) ASSERT_LT(x, std::uint64_t{1} << 20);
+}
+
+TEST(SequenceGen, AlmostSortedSeqIsNearlySorted) {
+  const auto v = almost_sorted_seq(10000);
+  std::size_t inversions_at_distance_1 = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    inversions_at_distance_1 += v[i - 1] > v[i];
+  }
+  // sqrt(n) = 100 swaps, each causing at most 2 adjacent inversions.
+  EXPECT_LE(inversions_at_distance_1, 220u);
+  EXPECT_GT(inversions_at_distance_1, 0u);  // but it is not fully sorted
+  // It is a permutation of 0..n-1.
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) ASSERT_EQ(sorted[i], i);
+}
+
+TEST(SequenceGen, RandomPairSeqKeysBoundedValuesAreIndices) {
+  const auto v = random_pair_seq(5000, 64);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_LT(v[i].first, 64u);
+    ASSERT_EQ(v[i].second, i);
+  }
+}
+
+TEST(SequenceGen, DoubleSeqsInRange) {
+  for (const auto x : random_double_seq(10000)) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+  for (const auto x : expt_double_seq(10000)) ASSERT_GE(x, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// text
+// ---------------------------------------------------------------------------
+
+TEST(TextGen, TrigramWordsShape) {
+  const auto corpus = trigram_words(5000);
+  EXPECT_EQ(corpus.words.size(), 5000u);
+  for (const auto w : corpus.words) {
+    ASSERT_GE(w.size(), 2u);
+    ASSERT_LE(w.size(), 7u);
+    for (const char c : w) ASSERT_TRUE(c >= 'a' && c <= 'z');
+  }
+  // Views point into the text and are space-separated.
+  EXPECT_GE(corpus.words[1].data(), corpus.text.data());
+  EXPECT_LT(corpus.words.back().data() + corpus.words.back().size(),
+            corpus.text.data() + corpus.text.size() + 1);
+}
+
+TEST(TextGen, TrigramWordsRepeatWords) {
+  const auto corpus = trigram_words(20000);
+  std::set<std::string_view> distinct(corpus.words.begin(),
+                                      corpus.words.end());
+  // The Markov chain must generate heavy repetition (that is the point of
+  // trigram inputs).
+  EXPECT_LT(distinct.size(), corpus.words.size() / 2);
+  EXPECT_GT(distinct.size(), 26u);
+}
+
+TEST(TextGen, DocumentCollectionPartitionsWords) {
+  const auto dc = document_collection(1050, 100);
+  EXPECT_EQ(dc.docs.size(), 11u);
+  std::size_t covered = 0;
+  for (std::size_t d = 0; d < dc.docs.size(); ++d) {
+    const auto [b, e] = dc.docs[d];
+    ASSERT_LT(b, e);
+    if (d > 0) ASSERT_EQ(b, dc.docs[d - 1].second);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 1050u);
+}
+
+// ---------------------------------------------------------------------------
+// graphs
+// ---------------------------------------------------------------------------
+
+TEST(Graph, FromEdgesSymmetrizesAndDedupes) {
+  const auto g = graph::from_edges(
+      4, {{0, 1}, {1, 0}, {1, 2}, {2, 2}, {1, 2}, {3, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_arcs(), 6u);  // {0,1}, {1,2}, {0,3} both ways
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+  const auto n1 = g.neighbors(1);
+  EXPECT_EQ(std::vector<vertex_id>(n1.begin(), n1.end()),
+            (std::vector<vertex_id>{0, 2}));
+}
+
+TEST(Graph, UndirectedEdgesReturnsCanonicalForms) {
+  const auto g = graph::from_edges(4, {{0, 1}, {1, 2}, {3, 0}});
+  const auto edges = g.undirected_edges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& e : edges) ASSERT_LT(e.u, e.v);
+}
+
+TEST(GraphGen, RmatGraphIsSkewed) {
+  const auto g = rmat_graph(10000, 50000);
+  EXPECT_GT(g.num_vertices(), 0u);
+  EXPECT_GT(g.num_arcs(), 40000u);  // most edges survive dedup
+  // Power-law: the max degree dwarfs the average.
+  std::size_t max_degree = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  const double avg = static_cast<double>(g.num_arcs()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(max_degree), 10.0 * avg);
+}
+
+TEST(GraphGen, RandLocalGraphDegreesNearUniform) {
+  const auto g = rand_local_graph(5000, 8);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  std::size_t max_degree = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  // Each vertex has ~16 arcs (8 out + ~8 in); no power-law outliers.
+  EXPECT_LE(max_degree, 64u);
+}
+
+TEST(GraphGen, Grid3dIsRegular) {
+  const auto g = grid3d_graph(1000);  // side 10
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(g.degree(v), 6u) << v;  // torus: all degrees equal
+  }
+}
+
+TEST(GraphGen, Deterministic) {
+  const auto a = rmat_graph(1000, 5000, 42);
+  const auto b = rmat_graph(1000, 5000, 42);
+  EXPECT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_EQ(a.undirected_edges().size(), b.undirected_edges().size());
+}
+
+// ---------------------------------------------------------------------------
+// points
+// ---------------------------------------------------------------------------
+
+TEST(PointGen, CubePointsInUnitSquare) {
+  for (const auto& p : points_in_cube_2d(10000)) {
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LT(p.x, 1.0);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LT(p.y, 1.0);
+  }
+}
+
+TEST(PointGen, SpherePointsInUnitDisc) {
+  for (const auto& p : points_in_sphere_2d(10000)) {
+    ASSERT_LE(p.x * p.x + p.y * p.y, 1.0 + 1e-12);
+  }
+}
+
+TEST(PointGen, KuzminIsCentrallyClustered) {
+  const auto pts = points_kuzmin_2d(20000);
+  std::size_t inside_unit = 0;
+  for (const auto& p : pts) inside_unit += (p.x * p.x + p.y * p.y) <= 1.0;
+  // Far more than a uniform spread would put inside radius 1 given the
+  // heavy tail (some points land far outside).
+  EXPECT_GT(inside_unit, pts.size() / 4);
+  double max_r2 = 0;
+  for (const auto& p : pts) max_r2 = std::max(max_r2, p.x * p.x + p.y * p.y);
+  EXPECT_GT(max_r2, 25.0);  // the tail reaches out
+}
+
+TEST(Geometry, CrossOrientation) {
+  const point2d a{0, 0}, b{1, 0};
+  EXPECT_GT(cross(a, b, {0.5, 1}), 0.0);   // left turn
+  EXPECT_LT(cross(a, b, {0.5, -1}), 0.0);  // right turn
+  EXPECT_EQ(cross(a, b, {2, 0}), 0.0);     // collinear
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace lcws::pbbs

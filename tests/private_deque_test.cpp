@@ -1,0 +1,161 @@
+// Protocol-level tests for the private (mailbox) deque of Acar et al.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "deque/private_deque.h"
+#include "support/rng.h"
+
+namespace lcws {
+namespace {
+
+TEST(PrivateDeque, OwnerLifoSemantics) {
+  int a = 0, b = 1, c = 2;
+  private_deque<int> d;
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  d.push_bottom(&a);
+  d.push_bottom(&b);
+  d.push_bottom(&c);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.pop_bottom(), &c);
+  EXPECT_EQ(d.pop_bottom(), &b);
+  EXPECT_EQ(d.pop_bottom(), &a);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(PrivateDeque, RequestAnsweredWithOldestTask) {
+  int a = 0, b = 1;
+  private_deque<int> d;
+  d.push_bottom(&a);
+  d.push_bottom(&b);
+  steal_box<int> box;
+  ASSERT_TRUE(d.post_request(&box));
+  EXPECT_TRUE(d.has_pending_request());
+  d.poll();  // victim serves at its next scheduling point
+  EXPECT_EQ(box.answer.load(), &a);  // oldest task, like a top-side steal
+  EXPECT_FALSE(d.has_pending_request());
+  EXPECT_EQ(d.pop_bottom(), &b);
+}
+
+TEST(PrivateDeque, EmptyVictimAnswersNull) {
+  private_deque<int> d;
+  steal_box<int> box;
+  ASSERT_TRUE(d.post_request(&box));
+  d.poll();
+  EXPECT_EQ(box.answer.load(), nullptr);
+}
+
+TEST(PrivateDeque, SecondRequestRejectedWhilePending) {
+  private_deque<int> d;
+  steal_box<int> box1, box2;
+  ASSERT_TRUE(d.post_request(&box1));
+  EXPECT_FALSE(d.post_request(&box2));
+  d.poll();
+  EXPECT_TRUE(d.post_request(&box2));  // slot free again
+  d.poll();
+}
+
+TEST(PrivateDeque, RetractionKeepsTaskWithOwner) {
+  int a = 0;
+  private_deque<int> d;
+  d.push_bottom(&a);
+  steal_box<int> box;
+  ASSERT_TRUE(d.post_request(&box));
+  ASSERT_TRUE(d.retract_request(&box));
+  d.poll();  // no pending request anymore
+  EXPECT_EQ(box.answer.load(), steal_box<int>::pending());
+  EXPECT_EQ(d.pop_bottom(), &a);
+}
+
+TEST(PrivateDeque, RetractionFailsAfterAnswer) {
+  int a = 0;
+  private_deque<int> d;
+  d.push_bottom(&a);
+  steal_box<int> box;
+  ASSERT_TRUE(d.post_request(&box));
+  d.poll();
+  EXPECT_FALSE(d.retract_request(&box));
+  EXPECT_EQ(box.answer.load(), &a);
+}
+
+TEST(PrivateDeque, PushAndPopServePendingRequests) {
+  int a = 0, b = 1;
+  private_deque<int> d;
+  d.push_bottom(&a);
+  steal_box<int> box;
+  ASSERT_TRUE(d.post_request(&box));
+  d.push_bottom(&b);  // push polls
+  EXPECT_EQ(box.answer.load(), &a);
+  EXPECT_EQ(d.pop_bottom(), &b);
+}
+
+// Concurrent stress: every task consumed exactly once by the owner or by
+// one of the requesting thieves.
+TEST(PrivateDequeStress, ExactlyOnceUnderConcurrentRequests) {
+  constexpr int kTotal = 3000;
+  constexpr int kThieves = 3;
+  std::vector<int> arena(kTotal);
+  for (int i = 0; i < kTotal; ++i) arena[static_cast<std::size_t>(i)] = i;
+  std::vector<std::atomic<int>> taken(kTotal);
+  for (auto& t : taken) t.store(0);
+  private_deque<int> d;
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      steal_box<int> box;
+      while (!done.load(std::memory_order_acquire)) {
+        box.answer.store(steal_box<int>::pending(),
+                         std::memory_order_relaxed);
+        if (!d.post_request(&box)) {
+          std::this_thread::yield();
+          continue;
+        }
+        int spins = 0;
+        bool retracted = false;
+        while (true) {
+          int* answer = box.answer.load(std::memory_order_acquire);
+          if (answer != steal_box<int>::pending()) {
+            if (answer != nullptr) {
+              taken[static_cast<std::size_t>(*answer)].fetch_add(1);
+              consumed.fetch_add(1);
+            }
+            break;
+          }
+          if (!retracted && ++spins > 200) {
+            if (d.retract_request(&box)) break;
+            retracted = true;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  xoshiro256 rng(3);
+  int pushed = 0;
+  while (consumed.load(std::memory_order_relaxed) < kTotal) {
+    if (pushed < kTotal && rng.bounded(3) != 0) {
+      d.push_bottom(&arena[static_cast<std::size_t>(pushed)]);
+      ++pushed;
+    } else if (int* t = d.pop_bottom()) {
+      taken[static_cast<std::size_t>(*t)].fetch_add(1);
+      consumed.fetch_add(1);
+    } else if (pushed == kTotal) {
+      d.poll();
+      std::this_thread::yield();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  for (int i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(taken[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lcws

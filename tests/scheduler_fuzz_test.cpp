@@ -1,0 +1,97 @@
+// Randomized fork-tree property tests: arbitrary-shaped computations (as
+// opposed to the regular trees of fib / parallel_for) executed under every
+// scheduler, with full-result validation. The tree shape, leaf work and
+// scheduler parameters all derive from the test seed, so failures
+// reproduce deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sched/dispatch.h"
+#include "sched/scheduler.h"
+#include "support/rng.h"
+
+namespace lcws {
+namespace {
+
+// A deterministic random tree: node identity = (seed, path). Returns the
+// checksum of all leaves under the node; forks with random arity shape
+// (left-heavy, right-heavy, balanced) and random depth cutoffs.
+template <typename Sched>
+std::uint64_t random_tree(Sched& sched, std::uint64_t seed,
+                          std::uint64_t path, unsigned depth) {
+  const std::uint64_t h = hash64(seed ^ path);
+  if (depth == 0 || (h & 7) == 0) {  // leaf with pseudo-random work
+    std::uint64_t acc = h;
+    const unsigned iters = 1 + (h >> 8) % 200;
+    for (unsigned i = 0; i < iters; ++i) acc = hash64(acc);
+    return acc;
+  }
+  std::uint64_t left = 0, right = 0;
+  // Unbalanced subtrees: one side often gets much deeper.
+  const unsigned left_depth = (h >> 16) % (depth + 1);
+  const unsigned right_depth = (h >> 24) % (depth + 1);
+  sched.pardo(
+      [&] { left = random_tree(sched, seed, path * 2 + 1, left_depth); },
+      [&] { right = random_tree(sched, seed, path * 2 + 2, right_depth); });
+  return left ^ (right * 0x9e3779b97f4a7c15ULL);
+}
+
+// Sequential oracle with identical structure.
+std::uint64_t random_tree_seq(std::uint64_t seed, std::uint64_t path,
+                              unsigned depth) {
+  const std::uint64_t h = hash64(seed ^ path);
+  if (depth == 0 || (h & 7) == 0) {
+    std::uint64_t acc = h;
+    const unsigned iters = 1 + (h >> 8) % 200;
+    for (unsigned i = 0; i < iters; ++i) acc = hash64(acc);
+    return acc;
+  }
+  const unsigned left_depth = (h >> 16) % (depth + 1);
+  const unsigned right_depth = (h >> 24) % (depth + 1);
+  const std::uint64_t left = random_tree_seq(seed, path * 2 + 1, left_depth);
+  const std::uint64_t right =
+      random_tree_seq(seed, path * 2 + 2, right_depth);
+  return left ^ (right * 0x9e3779b97f4a7c15ULL);
+}
+
+class SchedulerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzzTest, RandomTreeMatchesSequentialOracle) {
+  const std::uint64_t seed = GetParam();
+  xoshiro256 rng(seed);
+  const std::uint64_t expected = random_tree_seq(seed, 0, 14);
+  // Scheduler kind and worker count derive from the seed too.
+  const sched_kind kind =
+      all_sched_kinds[rng.bounded(std::size(all_sched_kinds))];
+  const std::size_t workers = 1 + rng.bounded(8);
+  const std::uint64_t got = with_scheduler(kind, workers, [&](auto& sched) {
+    return sched.run([&] { return random_tree(sched, seed, 0, 14); });
+  });
+  EXPECT_EQ(got, expected) << "kind=" << to_string(kind)
+                           << " workers=" << workers;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// Back-to-back runs of different shapes on one pool: state from one run
+// (targeted flags, deque indices, mailboxes) must not leak into the next.
+TEST(SchedulerFuzz, PoolReuseAcrossShapes) {
+  for (const sched_kind kind : all_sched_kinds) {
+    with_scheduler(kind, 4, [&](auto& sched) {
+      for (std::uint64_t seed = 100; seed < 106; ++seed) {
+        const std::uint64_t expected = random_tree_seq(seed, 0, 12);
+        const std::uint64_t got =
+            sched.run([&] { return random_tree(sched, seed, 0, 12); });
+        ASSERT_EQ(got, expected)
+            << to_string(kind) << " seed=" << seed;
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace lcws

@@ -1,0 +1,108 @@
+// Tests for the SIGUSR1 exposure-request plumbing (Section 4's mechanism).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sched/signal_support.h"
+
+namespace lcws::detail {
+namespace {
+
+TEST(SignalSupport, ExposureSignalIsUsr1) {
+  EXPECT_EQ(exposure_signal(), SIGUSR1);
+}
+
+TEST(SignalSupport, InstallIsIdempotent) {
+  install_exposure_handler();
+  install_exposure_handler();  // must not abort or reinstall
+}
+
+TEST(SignalSupport, HandlerRunsRegisteredHook) {
+  install_exposure_handler();
+  static std::atomic<int> hits{0};
+  set_exposure_hook([](void* ctx) noexcept {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1); }, &hits);
+  const auto before = handler_invocations();
+  ASSERT_TRUE(send_exposure_request(pthread_self()));
+  // Delivery to self is synchronous on Linux for pthread_kill before
+  // return-to-user, but don't rely on it: poll briefly.
+  for (int i = 0; i < 1000 && hits.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_GT(handler_invocations(), before);
+  clear_exposure_hook();
+}
+
+TEST(SignalSupport, ClearedHookIsNotCalled) {
+  install_exposure_handler();
+  static std::atomic<int> hits{0};
+  hits.store(0);
+  set_exposure_hook([](void* ctx) noexcept {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1); }, &hits);
+  clear_exposure_hook();
+  const auto before = handler_invocations();
+  ASSERT_TRUE(send_exposure_request(pthread_self()));
+  for (int i = 0; i < 1000 && handler_invocations() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(handler_invocations(), before);  // handler ran...
+  EXPECT_EQ(hits.load(), 0);                 // ...but had no hook
+}
+
+TEST(SignalSupport, HookIsThreadLocal) {
+  install_exposure_handler();
+  std::atomic<int> main_hits{0};
+  std::atomic<int> other_hits{0};
+  std::atomic<bool> registered{false};
+  std::atomic<bool> quit{false};
+
+  std::thread other([&] {
+    set_exposure_hook([](void* ctx) noexcept {
+      static_cast<std::atomic<int>*>(ctx)->fetch_add(1); }, &other_hits);
+    registered.store(true, std::memory_order_release);
+    while (!quit.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    clear_exposure_hook();
+  });
+  while (!registered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  set_exposure_hook([](void* ctx) noexcept {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1); }, &main_hits);
+  // Signal the other thread: only its hook must fire.
+  ASSERT_TRUE(send_exposure_request(other.native_handle()));
+  for (int i = 0; i < 2000 && other_hits.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  quit.store(true, std::memory_order_release);
+  other.join();
+  EXPECT_EQ(other_hits.load(), 1);
+  EXPECT_EQ(main_hits.load(), 0);
+  clear_exposure_hook();
+}
+
+TEST(SignalSupport, ManySignalsAreSafe) {
+  install_exposure_handler();
+  static std::atomic<int> hits{0};
+  hits.store(0);
+  set_exposure_hook([](void* ctx) noexcept {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1); }, &hits);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(send_exposure_request(pthread_self()));
+    std::this_thread::yield();
+  }
+  // Signals may coalesce while blocked, but at least some must land and
+  // nothing may crash.
+  for (int i = 0; i < 1000 && hits.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(hits.load(), 0);
+  clear_exposure_hook();
+}
+
+}  // namespace
+}  // namespace lcws::detail

@@ -1,0 +1,145 @@
+// Unit tests for the synchronization-operation counters.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stats/counters.h"
+
+namespace lcws::stats {
+namespace {
+
+// Restores thread-local counter routing and zeroes the fallback block.
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_local_counters(nullptr);
+    local_counters() = op_counters{};
+  }
+  void TearDown() override { set_local_counters(nullptr); }
+};
+
+TEST_F(StatsTest, CountersStartAtZero) {
+  const op_counters& c = local_counters();
+  EXPECT_EQ(c.fences, 0u);
+  EXPECT_EQ(c.cas, 0u);
+  EXPECT_EQ(c.steals, 0u);
+}
+
+TEST_F(StatsTest, CountingHelpersIncrement) {
+  count_fence();
+  count_fence();
+  count_cas(true);
+  count_cas(false);
+  count_push();
+  count_pop_private();
+  count_pop_public();
+  count_steal_attempt();
+  count_steal_success();
+  count_steal_abort();
+  count_private_work_seen();
+  count_exposure(3);
+  count_exposure_request();
+  count_signal_sent();
+  count_task_executed();
+  count_idle_loop();
+
+  const op_counters& c = local_counters();
+  EXPECT_EQ(c.fences, 2u);
+  EXPECT_EQ(c.cas, 2u);
+  EXPECT_EQ(c.cas_failed, 1u);
+  EXPECT_EQ(c.pushes, 1u);
+  EXPECT_EQ(c.pops_private, 1u);
+  EXPECT_EQ(c.pops_public, 1u);
+  EXPECT_EQ(c.steal_attempts, 1u);
+  EXPECT_EQ(c.steals, 1u);
+  EXPECT_EQ(c.steal_aborts, 1u);
+  EXPECT_EQ(c.private_work_seen, 1u);
+  EXPECT_EQ(c.exposures, 3u);
+  EXPECT_EQ(c.exposure_requests, 1u);
+  EXPECT_EQ(c.signals_sent, 1u);
+  EXPECT_EQ(c.tasks_executed, 1u);
+  EXPECT_EQ(c.idle_loops, 1u);
+}
+
+TEST_F(StatsTest, RedirectionRoutesToBlock) {
+  op_counters block;
+  set_local_counters(&block);
+  count_fence();
+  count_push();
+  set_local_counters(nullptr);
+  count_fence();  // goes to the fallback, not the block
+
+  EXPECT_EQ(block.fences, 1u);
+  EXPECT_EQ(block.pushes, 1u);
+  EXPECT_EQ(local_counters().fences, 1u);
+  EXPECT_EQ(local_counters().pushes, 0u);
+}
+
+TEST_F(StatsTest, FallbackIsPerThread) {
+  count_fence();
+  std::uint64_t other_fences = 99;
+  std::thread t([&] { other_fences = local_counters().fences; });
+  t.join();
+  EXPECT_EQ(other_fences, 0u);
+  EXPECT_EQ(local_counters().fences, 1u);
+}
+
+TEST_F(StatsTest, PlusEqualsAndMinus) {
+  op_counters a;
+  a.fences = 5;
+  a.cas = 3;
+  a.steals = 2;
+  op_counters b;
+  b.fences = 1;
+  b.cas = 1;
+  b.steals = 1;
+  a += b;
+  EXPECT_EQ(a.fences, 6u);
+  EXPECT_EQ(a.cas, 4u);
+  EXPECT_EQ(a.steals, 3u);
+  const op_counters d = a - b;
+  EXPECT_EQ(d.fences, 5u);
+  EXPECT_EQ(d.cas, 3u);
+  EXPECT_EQ(d.steals, 2u);
+}
+
+TEST_F(StatsTest, AggregateSumsBlocks) {
+  std::vector<cache_aligned<op_counters>> blocks(3);
+  blocks[0]->fences = 1;
+  blocks[1]->fences = 2;
+  blocks[2]->fences = 3;
+  blocks[1]->steals = 4;
+  blocks[2]->steal_attempts = 8;
+  const profile p = aggregate(blocks);
+  EXPECT_EQ(p.totals.fences, 6u);
+  EXPECT_EQ(p.totals.steals, 4u);
+  EXPECT_EQ(p.totals.steal_attempts, 8u);
+  EXPECT_DOUBLE_EQ(p.steal_success_rate(), 0.5);
+}
+
+TEST_F(StatsTest, DerivedFractionsHandleZeroDenominators) {
+  profile p;
+  EXPECT_EQ(p.exposed_not_stolen_fraction(), 0.0);
+  EXPECT_EQ(p.steal_success_rate(), 0.0);
+}
+
+TEST_F(StatsTest, ExposedNotStolenFraction) {
+  profile p;
+  p.totals.exposures = 10;
+  p.totals.pops_public = 4;  // owner re-took 4 of the 10 exposed tasks
+  EXPECT_DOUBLE_EQ(p.exposed_not_stolen_fraction(), 0.4);
+}
+
+TEST_F(StatsTest, FormatMentionsKeyFields) {
+  profile p;
+  p.totals.fences = 7;
+  p.totals.cas = 9;
+  const std::string text = format_profile(p);
+  EXPECT_NE(text.find("fences=7"), std::string::npos);
+  EXPECT_NE(text.find("cas=9"), std::string::npos);
+  EXPECT_NE(text.find("steal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcws::stats

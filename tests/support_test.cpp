@@ -1,0 +1,199 @@
+// Unit tests for the support substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/align.h"
+#include "support/backoff.h"
+#include "support/barrier.h"
+#include "support/rng.h"
+#include "support/threads.h"
+#include "support/timing.h"
+#include "support/topology.h"
+
+namespace lcws {
+namespace {
+
+TEST(Align, CacheAlignedHasLineAlignment) {
+  EXPECT_GE(alignof(cache_aligned<char>), 64u);
+  EXPECT_GE(sizeof(cache_aligned<char>), cache_line_size);
+  cache_aligned<int> x(41);
+  EXPECT_EQ(x.get(), 41);
+  *x = 42;
+  EXPECT_EQ(*x, 42);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&x.get()) % 64, 0u);
+}
+
+TEST(Align, CacheAlignedArrayElementsDoNotShareLines) {
+  std::vector<cache_aligned<std::uint8_t>> v(4);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const auto prev = reinterpret_cast<std::uintptr_t>(&v[i - 1].get());
+    const auto cur = reinterpret_cast<std::uintptr_t>(&v[i].get());
+    EXPECT_GE(cur - prev, cache_line_size);
+  }
+}
+
+TEST(Align, RoundUpPow2) {
+  EXPECT_EQ(round_up_pow2(0, 64), 0u);
+  EXPECT_EQ(round_up_pow2(1, 64), 64u);
+  EXPECT_EQ(round_up_pow2(64, 64), 64u);
+  EXPECT_EQ(round_up_pow2(65, 64), 128u);
+}
+
+TEST(Align, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Align, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Rng, Deterministic) {
+  xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiffer) {
+  xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  xoshiro256 rng(9);
+  double sum = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, Hash64Mixes) {
+  // Consecutive inputs must map to wildly different outputs.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(hash64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+  EXPECT_NE(hash64(0), 0u);
+}
+
+TEST(Timing, StopwatchAdvances) {
+  stopwatch sw;
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + static_cast<std::uint64_t>(i);
+  }
+  EXPECT_GT(sw.elapsed_ns(), 0u);
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+}
+
+TEST(Timing, TimeSecondsRunsFunction) {
+  bool ran = false;
+  const double t = time_seconds([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_GE(t, 0.0);
+}
+
+TEST(Backoff, EscalatesThenYields) {
+  backoff bo(3);
+  EXPECT_EQ(bo.step(), 0u);
+  bo.pause();
+  bo.pause();
+  bo.pause();
+  EXPECT_EQ(bo.step(), 3u);
+  bo.pause();  // yield path; step stays put
+  EXPECT_EQ(bo.step(), 3u);
+  bo.reset();
+  EXPECT_EQ(bo.step(), 0u);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPhases = 50;
+  spin_barrier barrier(kThreads);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        in_phase.fetch_add(1);
+        barrier.arrive_and_wait();
+        // All kThreads must have entered before any leaves.
+        if (in_phase.load() < static_cast<int>(kThreads) * (phase + 1)) {
+          violated.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(in_phase.load(), static_cast<int>(kThreads) * kPhases);
+}
+
+TEST(Threads, WorkerIdRoundTrips) {
+  EXPECT_EQ(this_worker_id(), npos_worker);
+  set_this_worker_id(3);
+  EXPECT_EQ(this_worker_id(), 3u);
+  set_this_worker_id(npos_worker);
+  EXPECT_EQ(this_worker_id(), npos_worker);
+}
+
+TEST(Threads, WorkerIdIsThreadLocal) {
+  set_this_worker_id(1);
+  std::size_t other = 0;
+  std::thread t([&] { other = this_worker_id(); });
+  t.join();
+  EXPECT_EQ(other, npos_worker);
+  set_this_worker_id(npos_worker);
+}
+
+TEST(Threads, PinIsBestEffort) {
+  // Must not crash either way; on cpu 0 it usually succeeds.
+  (void)pin_this_thread(0);
+  // An absurd cpu index must fail gracefully.
+  EXPECT_FALSE(pin_this_thread(100000));
+}
+
+TEST(Topology, ProbeReturnsSaneValues) {
+  const machine_info info = probe_machine();
+  EXPECT_GE(info.logical_cpus, 1u);
+  const std::string text = format_machine(info);
+  EXPECT_NE(text.find("CPU:"), std::string::npos);
+  EXPECT_NE(text.find("Memory:"), std::string::npos);
+  EXPECT_NE(text.find("OS:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcws
