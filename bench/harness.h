@@ -14,7 +14,10 @@
 //   LCWS_BENCH_CSV     file path: append one CSV row per measured cell
 //                      (benchmark,instance,procs,scheduler,seconds,fences,
 //                      cas,steals,steal_attempts,exposures,unexposures,
-//                      signals) for offline plotting
+//                      signals,parks,wakes,idle_ns) for offline plotting
+//   LCWS_BENCH_JSON    file path: append one JSON object per measured cell
+//                      (JSON Lines; same fields as the CSV, named) for
+//                      offline plotting without a CSV header convention
 #pragma once
 
 #include <algorithm>
@@ -136,7 +139,7 @@ inline void maybe_write_csv(const std::vector<cell>& cells) {
   for (const auto& c : cells) {
     const auto& t = c.result.profile.totals;
     std::fprintf(
-        f, "%s,%s,%zu,%s,%.9f,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        f, "%s,%s,%zu,%s,%.9f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
         c.cfg.benchmark.c_str(), c.cfg.instance.c_str(), c.procs,
         to_string(c.kind), c.result.seconds,
         static_cast<unsigned long long>(t.fences),
@@ -145,7 +148,47 @@ inline void maybe_write_csv(const std::vector<cell>& cells) {
         static_cast<unsigned long long>(t.steal_attempts),
         static_cast<unsigned long long>(t.exposures),
         static_cast<unsigned long long>(t.unexposures),
-        static_cast<unsigned long long>(t.signals_sent));
+        static_cast<unsigned long long>(t.signals_sent),
+        static_cast<unsigned long long>(t.parks),
+        static_cast<unsigned long long>(t.wakes),
+        static_cast<unsigned long long>(t.idle_ns));
+  }
+  std::fclose(f);
+}
+
+// Appends measured cells as JSON Lines when LCWS_BENCH_JSON is set — the
+// same fields as the CSV, but named, so downstream tooling needs no header
+// convention. Benchmark/instance/scheduler names are identifier-like
+// ([A-Za-z0-9_.-]), so plain %s interpolation cannot break the JSON.
+inline void maybe_write_json(const std::vector<cell>& cells) {
+  const char* path = std::getenv("LCWS_BENCH_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "LCWS_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  for (const auto& c : cells) {
+    const auto& t = c.result.profile.totals;
+    std::fprintf(
+        f,
+        "{\"benchmark\":\"%s\",\"instance\":\"%s\",\"procs\":%zu,"
+        "\"scheduler\":\"%s\",\"seconds\":%.9f,\"fences\":%llu,"
+        "\"cas\":%llu,\"steals\":%llu,\"steal_attempts\":%llu,"
+        "\"exposures\":%llu,\"unexposures\":%llu,\"signals\":%llu,"
+        "\"parks\":%llu,\"wakes\":%llu,\"idle_ns\":%llu}\n",
+        c.cfg.benchmark.c_str(), c.cfg.instance.c_str(), c.procs,
+        to_string(c.kind), c.result.seconds,
+        static_cast<unsigned long long>(t.fences),
+        static_cast<unsigned long long>(t.cas),
+        static_cast<unsigned long long>(t.steals),
+        static_cast<unsigned long long>(t.steal_attempts),
+        static_cast<unsigned long long>(t.exposures),
+        static_cast<unsigned long long>(t.unexposures),
+        static_cast<unsigned long long>(t.signals_sent),
+        static_cast<unsigned long long>(t.parks),
+        static_cast<unsigned long long>(t.wakes),
+        static_cast<unsigned long long>(t.idle_ns));
   }
   std::fclose(f);
 }
@@ -181,6 +224,7 @@ inline std::vector<cell> sweep(const std::vector<sched_kind>& kinds,
     }
   }
   maybe_write_csv(cells);
+  maybe_write_json(cells);
   return cells;
 }
 

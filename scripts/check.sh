@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite under both presets
+# (release and ThreadSanitizer). Usage: scripts/check.sh [ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for preset in default tsan; do
+  echo "== preset: ${preset} =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}" "$@"
+done

@@ -33,6 +33,14 @@ class job {
     return done_.load(std::memory_order_acquire);
   }
 
+  // Relaxed peek for spin loops: callers must issue an acquire fence (or an
+  // is_done() re-load) after observing true and before touching anything
+  // the task wrote. Lets the join loop pay its acquire once, on exit,
+  // instead of on every iteration.
+  bool is_done_relaxed() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+
  private:
   run_fn fn_;
   std::atomic<bool> done_{false};

@@ -12,12 +12,35 @@
 // (signal-based) of the paper — lives in get_local()/try_steal() below and
 // is selected with `if constexpr` so each instantiation pays only for its
 // own protocol.
+//
+// Idle workers adaptively *park* (support/parking_lot.h) instead of
+// spinning forever: after kParkAfterFailures fruitless find-task rounds
+// (i.e. past the backoff's pause→yield escalation) a worker announces
+// itself, makes one final sweep over every deque, and blocks on its
+// condition variable with an adaptive timed backstop. Producers wake
+// sleepers along a semi-sleeping (ABP-style) wake chain:
+//   * push               -> unpark_one   (new — possibly private — work)
+//   * user-space expose  -> unpark_one   (work just became stealable)
+//   * successful steal   -> unpark_one   (chain: more work is likely)
+//   * stolen-job done    -> unpark_all   (its joiner may be parked)
+//   * run()/shutdown     -> unpark_all
+// Signal-family exposure runs inside a SIGUSR1 handler where waking is not
+// async-signal-safe; there the requesting thief (awake by definition)
+// steals the exposed task and the chain wake propagates from that steal.
+// Mailbox requests never wake their victim: a parked mailbox victim is
+// provably empty (it answers pending requests before sleeping and only the
+// owner pushes), so the thief's bounded retract answers faster than a wake
+// round-trip would — and waking provably-empty victims chain-reacts into a
+// wake storm when the whole pool idles.
+// Parking is gated by LCWS_NO_PARKING / a constructor knob and never
+// touches the paper's fence/CAS/steal/exposure counters (see DESIGN.md).
 #pragma once
 
 #include <pthread.h>
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -34,8 +57,10 @@
 #include "stats/counters.h"
 #include "support/align.h"
 #include "support/backoff.h"
+#include "support/parking_lot.h"
 #include "support/rng.h"
 #include "support/threads.h"
+#include "support/timing.h"
 
 namespace lcws {
 
@@ -48,11 +73,16 @@ class scheduler {
 
   // deque_capacity bounds each worker's deque (see split_deque.h for the
   // capacity contract); the default is ample for fork-join computations.
+  // `parking` is the elastic-idling kill-switch (default: on unless
+  // LCWS_NO_PARKING is set in the environment).
   explicit scheduler(std::size_t num_workers,
-                     std::size_t deque_capacity = default_deque_capacity)
+                     std::size_t deque_capacity = default_deque_capacity,
+                     parking_mode parking = parking_mode::env_default)
       : nworkers_(num_workers == 0 ? 1 : num_workers),
         targeted_(nworkers_),
         counters_(nworkers_),
+        lot_(nworkers_),
+        parking_(parking_enabled(parking) && nworkers_ > 1),
         owner_(std::this_thread::get_id()) {
     workers_.reserve(nworkers_);
     for (std::size_t i = 0; i < nworkers_; ++i) {
@@ -82,6 +112,7 @@ class scheduler {
       shutdown_.store(true, std::memory_order_release);
     }
     idle_cv_.notify_all();
+    lot_.unpark_all();  // parked workers must observe shutdown_
     for (auto& t : threads_) t.join();
     unregister_worker();
   }
@@ -99,11 +130,22 @@ class scheduler {
     if (active_.load(std::memory_order_relaxed)) {
       return std::forward<F>(f)();  // nested run: already inside a root
     }
+    // Stale targeted_ flags must not leak across computations: a flag left
+    // true when the previous run drained would suppress this run's first
+    // signal (signal family) or trigger a spurious exposure on the first
+    // multi-task pop (user-space family). No computation is in flight, so
+    // relaxed stores suffice.
+    for (auto& flag : targeted_) {
+      flag->store(false, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       active_.store(true, std::memory_order_release);
     }
     idle_cv_.notify_all();
+    // Workers idling between runs may be in a timed park rather than the
+    // inactive wait; hand each a permit so the computation starts promptly.
+    if (parking_) stats::count_wake(lot_.unpark_all());
     struct deactivate {
       std::atomic<bool>& flag;
       ~deactivate() { flag.store(false, std::memory_order_release); }
@@ -139,6 +181,9 @@ class scheduler {
     for (auto& block : counters_) block.get() = stats::op_counters{};
   }
 
+  // Whether elastic idling is in effect for this pool.
+  bool parking_active() const noexcept { return parking_; }
+
   // Test/diagnostic access.
   deque_type& deque_of(std::size_t worker) noexcept {
     return workers_[worker]->deque;
@@ -146,8 +191,29 @@ class scheduler {
   bool is_targeted(std::size_t worker) const noexcept {
     return targeted_[worker]->load(std::memory_order_relaxed);
   }
+  void set_targeted(std::size_t worker, bool value) noexcept {  // test hook
+    targeted_[worker]->store(value, std::memory_order_relaxed);
+  }
 
  private:
+  // Park after this many consecutive fruitless find-task rounds — past the
+  // backoff's pause->yield escalation (10 doubling pause steps), so a
+  // worker has yielded the CPU plenty before it commits to sleeping. The
+  // threshold is calibrated to the cost of one round: a mailbox round spins
+  // up to 512 iterations (with yields) waiting for the victim's answer,
+  // ~100x the cost of a deque probe, so the mailbox family parks after
+  // proportionally fewer rounds.
+  static constexpr std::uint32_t kParkAfterFailures =
+      family == sched_family::mailbox ? 4 : 32;
+  // Adaptive backstop bounds: first park waits kParkMinUs; fruitless
+  // episodes double it up to kParkMaxUs; any delivered permit resets it.
+  // The backstop also bounds the cost of the one theoretical lost-wake
+  // interleaving (see parking_lot.h): the ceiling is the worst-case extra
+  // latency of a missed wake, while every spurious timed wakeup costs a
+  // probe sweep — 20ms keeps long-idle workers under 50 wakeups/s each.
+  static constexpr std::uint32_t kParkMinUs = 100;
+  static constexpr std::uint32_t kParkMaxUs = 20000;
+
   struct worker_state {
     worker_state(std::size_t id, std::size_t deque_capacity)
         : deque(deque_capacity), rng(hash64(0x5eed5eedULL + id)) {}
@@ -155,6 +221,15 @@ class scheduler {
     xoshiro256 rng;            // victim selection; owner-only
     pthread_t handle{};        // published before ready_ increments
     steal_box<job> mail;       // mailbox family: this worker's answer box
+    std::uint32_t park_timeout_us = kParkMinUs;  // adaptive; owner-only
+  };
+
+  // A found task plus its provenance: stolen tasks drive the wake chain
+  // (and their completion may unblock a parked joiner).
+  struct found_task {
+    job* task = nullptr;
+    bool stolen = false;
+    explicit operator bool() const noexcept { return task != nullptr; }
   };
 
   // ---- registration -------------------------------------------------------
@@ -182,6 +257,15 @@ class scheduler {
     Policy::expose(*static_cast<deque_type*>(ctx));
   }
 
+  // ---- wake chain ---------------------------------------------------------
+
+  // One relaxed load when nobody sleeps keeps producers fence-free.
+  void wake_one(std::size_t self) {
+    if (lot_.unpark_one(self + 1 < nworkers_ ? self + 1 : 0)) {
+      stats::count_wake();
+    }
+  }
+
   // ---- per-family deque protocol -----------------------------------------
 
   void push(std::size_t self, job* task) {
@@ -195,6 +279,9 @@ class scheduler {
         flag.store(false, std::memory_order_relaxed);
       }
     }
+    // Wake-chain root: fresh (possibly still private) work can satisfy a
+    // parked thief — it will probe, request exposure if needed, and steal.
+    if (parking_ && lot_.sleepers() != 0) wake_one(self);
   }
 
   // Local half of Listing 1 / Listing 3's get_task: own private part, then
@@ -217,7 +304,9 @@ class scheduler {
         auto& flag = targeted_[self].get();
         if (flag.load(std::memory_order_relaxed)) {
           flag.store(false, std::memory_order_relaxed);
-          Policy::expose(d);
+          const bool exposed = Policy::expose(d) > 0;
+          // The exposed task is stealable right now; hand it to a sleeper.
+          if (exposed && parking_ && lot_.sleepers() != 0) wake_one(self);
         }
         return task;
       }
@@ -244,10 +333,11 @@ class scheduler {
   }
 
   // Thief half: one steal attempt against `victim`.
-  job* try_steal(std::size_t victim) {
+  job* try_steal(std::size_t self, std::size_t victim) {
     if constexpr (family == sched_family::mailbox) {
-      return mailbox_steal(victim);
+      return mailbox_steal(self, victim);
     } else {
+      (void)self;
       return deque_steal(victim);
     }
   }
@@ -255,15 +345,28 @@ class scheduler {
   // Mailbox protocol (private_deques): post a request, spin for the
   // answer, retract on timeout. The victim answers at its next scheduling
   // point — which may be far away if it is inside a long sequential task
-  // (the documented weakness of the approach).
-  job* mailbox_steal(std::size_t victim) {
-    const std::size_t self = this_worker_id();
+  // (the documented weakness of the approach). `self` is threaded down from
+  // find_task so the steal loop never re-reads this_worker_id()'s TLS.
+  job* mailbox_steal(std::size_t self, std::size_t victim) {
+    // A parked victim is provably empty (it drains its stack and answers
+    // pending requests before sleeping; only the owner pushes), so posting
+    // to one could only spin out the retract timeout below. Skip in O(1).
+    // The peek is a stale-tolerant hint: a victim waking concurrently is
+    // simply probed again next round.
+    if (parking_ && lot_.is_announced(victim)) return nullptr;
     auto& box = workers_[self]->mail;
     box.answer.store(steal_box<job>::pending(), std::memory_order_relaxed);
     auto& d = workers_[victim]->deque;
     stats::count_steal_attempt();
     if (!d.post_request(&box)) return nullptr;  // victim busy with another
     stats::count_exposure_request();
+    // No wake for the victim: a parked mailbox victim is provably empty
+    // (it answers pending requests and drains its own stack before
+    // sleeping, and only the owner pushes), so waking it could only buy a
+    // faster "no work" answer than the retract timeout below — not worth
+    // two context switches. Waking victims here also feeds back: each
+    // woken victim's own probe posts a request that wakes the next
+    // sleeper, a self-sustaining storm when the whole pool is idle.
     bool retracted = false;
     for (int spin = 0;; ++spin) {
       job* answer = box.answer.load(std::memory_order_acquire);
@@ -304,6 +407,9 @@ class scheduler {
         }
       } else if constexpr (family == sched_family::signal) {
         // Listing 3 lines 8-11 (plus Conservative's has_two_tasks gate).
+        // The victim provably has private work, so it is running, never
+        // parked — no wake needed; the handler's exposure is harvested by
+        // this (awake) thief on a later round.
         auto& flag = targeted_[victim].get();
         if (!flag.load(std::memory_order_relaxed) &&
             Policy::should_signal(d)) {
@@ -323,12 +429,12 @@ class scheduler {
     auto& rng = workers_[self]->rng;
     std::size_t victim = rng.bounded(nworkers_ - 1);
     if (victim >= self) ++victim;  // uniform over the other workers
-    return try_steal(victim);
+    return try_steal(self, victim);
   }
 
-  job* find_task(std::size_t self) {
-    if (job* task = get_local(self)) return task;
-    return steal_once(self);
+  found_task find_task(std::size_t self) {
+    if (job* task = get_local(self)) return {task, false};
+    return {steal_once(self), true};
   }
 
   void execute(job* task) {
@@ -336,19 +442,119 @@ class scheduler {
     task->execute();
   }
 
+  // Executes a found task, driving the wake chain around stolen ones:
+  // before running, a successful steal suggests more exposed work (wake one
+  // thief to look); after running, the stolen job is done and its joiner —
+  // possibly parked — must notice (wake everyone; steals are rare).
+  void run_task(std::size_t self, const found_task& f) {
+    if (f.stolen && parking_ && lot_.sleepers() != 0) wake_one(self);
+    execute(f.task);
+    if (f.stolen && parking_ && lot_.sleepers() != 0) {
+      stats::count_wake(lot_.unpark_all());
+    }
+  }
+
+  // ---- parking ------------------------------------------------------------
+
+  // Final pre-park sweep: own deque, then one probe of every other worker
+  // in index order. Runs after the parking announcement's full barrier, so
+  // any work made stealable before a producer could have observed the
+  // announcement is found here. Skipped for the mailbox family, whose
+  // probes cannot see private stacks anyway and would wake every other
+  // (likely parked) victim just to be told "no work"; mailbox discovery
+  // relies on push-wakes, targeted request-wakes and the timed backstop.
+  found_task park_sweep(std::size_t self) {
+    if (job* task = get_local(self)) return {task, false};
+    if constexpr (family != sched_family::mailbox) {
+      for (std::size_t v = 0; v < nworkers_; ++v) {
+        if (v == self) continue;
+        if (job* task = try_steal(self, v)) return {task, true};
+      }
+    }
+    return {};
+  }
+
+  // One parking episode for an idle worker: announce, sweep, sleep with an
+  // adaptive timed backstop. Returns a task if the sweep found one (the
+  // caller executes it). `waited` (join loop) aborts the episode when the
+  // joined job completes.
+  found_task park_idle(std::size_t self, const job* waited) {
+    lot_.announce(self);
+    if (found_task f = park_sweep(self)) {
+      lot_.cancel(self);
+      return f;
+    }
+    if (shutdown_.load(std::memory_order_acquire) ||
+        !active_.load(std::memory_order_acquire) ||
+        (waited != nullptr && waited->is_done())) {
+      lot_.cancel(self);
+      return {};
+    }
+    if constexpr (family == sched_family::user_space ||
+                  family == sched_family::signal) {
+      // Never park targeted: the sweep proved our deque empty, so a stale
+      // targeted flag is vacuous — clear it so it cannot suppress
+      // notifications once we hold work again.
+      targeted_[self]->store(false, std::memory_order_relaxed);
+    } else if constexpr (family == sched_family::mailbox) {
+      // Never park targeted, mailbox edition: answer a request that landed
+      // after the sweep's poll (with null — our stack is provably empty)
+      // instead of leaving the thief to its retract timeout. A request
+      // arriving after this gate still terminates: the thief retracts
+      // after its bounded spin.
+      auto& d = workers_[self]->deque;
+      if (d.has_pending_request()) {
+        d.poll();
+        lot_.cancel(self);
+        return {};
+      }
+    }
+    auto& ws = *workers_[self];
+    stats::count_park();
+    stopwatch sw;
+    const bool woken =
+        lot_.park(self, std::chrono::microseconds(ws.park_timeout_us));
+    stats::count_idle_ns(sw.elapsed_ns());
+    ws.park_timeout_us =
+        woken ? kParkMinUs
+              : std::min(ws.park_timeout_us * 2, kParkMaxUs);
+    return {};
+  }
+
   // ---- join / worker loop --------------------------------------------------
 
   void join(std::size_t self, job& waited) {
     backoff bo;
-    while (!waited.is_done()) {
-      if (job* task = find_task(self)) {
-        execute(task);
+    std::uint32_t failures = 0;
+    // Relaxed peek while helping; the acquire that orders the joined task's
+    // writes is paid once, on exit (see the fence below), instead of on
+    // every spin iteration.
+    while (!waited.is_done_relaxed()) {
+      if (found_task f = find_task(self)) {
+        run_task(self, f);
         bo.reset();
+        failures = 0;
       } else {
         stats::count_idle_loop();
-        bo.pause();
+        ++failures;
+        if (parking_ && failures >= kParkAfterFailures) {
+          if (found_task f = park_idle(self, &waited)) {
+            run_task(self, f);
+            bo.reset();
+            failures = 0;
+          }
+          // Fruitless episode: keep `failures` saturated — one probe per
+          // wake, then straight back to a (longer) sleep.
+        } else {
+          bo.pause();
+        }
       }
     }
+    // One acquire re-load pairs with the completing worker's release store
+    // (an acquire *fence* would do the same with one fewer load, but TSan
+    // cannot model fences — gcc's -Wtsan flags it — and this is the cold
+    // exit path).
+    (void)waited.is_done();
   }
 
   void worker_loop(std::size_t id) {
@@ -356,6 +562,7 @@ class scheduler {
     name_this_thread("lcws-w" + std::to_string(id));
     ready_.fetch_add(1, std::memory_order_release);
     backoff bo;
+    std::uint32_t failures = 0;
     while (true) {
       if (shutdown_.load(std::memory_order_acquire)) break;
       if (!active_.load(std::memory_order_acquire)) {
@@ -364,15 +571,27 @@ class scheduler {
           return active_.load(std::memory_order_acquire) ||
                  shutdown_.load(std::memory_order_acquire);
         });
+        bo.reset();
+        failures = 0;
         continue;
       }
-      if (job* task = find_task(id)) {
-        execute(task);
+      if (found_task f = find_task(id)) {
+        run_task(id, f);
         bo.reset();
-      } else {
-        stats::count_idle_loop();
-        bo.pause();
+        failures = 0;
+        continue;
       }
+      stats::count_idle_loop();
+      ++failures;
+      if (parking_ && failures >= kParkAfterFailures) {
+        if (found_task f = park_idle(id, nullptr)) {
+          run_task(id, f);
+          bo.reset();
+          failures = 0;
+        }
+        continue;
+      }
+      bo.pause();
     }
     unregister_worker();
   }
@@ -382,6 +601,8 @@ class scheduler {
   std::vector<cache_aligned<std::atomic<bool>>> targeted_;
   mutable std::vector<cache_aligned<stats::op_counters>> counters_;
   std::vector<std::thread> threads_;
+  parking_lot lot_;
+  const bool parking_;
 
   std::atomic<std::size_t> ready_{0};
   std::atomic<bool> shutdown_{false};

@@ -25,6 +25,9 @@ op_counters& op_counters::operator+=(const op_counters& other) noexcept {
   signals_sent += other.signals_sent;
   tasks_executed += other.tasks_executed;
   idle_loops += other.idle_loops;
+  parks += other.parks;
+  wakes += other.wakes;
+  idle_ns += other.idle_ns;
   return *this;
 }
 
@@ -45,6 +48,9 @@ op_counters operator-(op_counters a, const op_counters& b) noexcept {
   a.signals_sent -= b.signals_sent;
   a.tasks_executed -= b.tasks_executed;
   a.idle_loops -= b.idle_loops;
+  a.parks -= b.parks;
+  a.wakes -= b.wakes;
+  a.idle_ns -= b.idle_ns;
   return a;
 }
 
@@ -76,6 +82,8 @@ std::string format_profile(const profile& p) {
       << " signals_sent=" << t.signals_sent << "\n"
       << "tasks_executed=" << t.tasks_executed
       << " idle_loops=" << t.idle_loops << "\n"
+      << "parks=" << t.parks << " wakes=" << t.wakes
+      << " idle_ns=" << t.idle_ns << "\n"
       << "exposed_not_stolen=" << p.exposed_not_stolen_fraction()
       << " steal_success_rate=" << p.steal_success_rate() << "\n";
   return out.str();

@@ -83,6 +83,9 @@ struct op_counters {
   relaxed_counter signals_sent;    // pthread_kill(SIGUSR1) system calls
   relaxed_counter tasks_executed;  // jobs actually run by this worker
   relaxed_counter idle_loops;      // scheduling-loop iterations w/o a task
+  relaxed_counter parks;           // park episodes (worker blocked idle)
+  relaxed_counter wakes;           // unpark permits issued by this worker
+  relaxed_counter idle_ns;         // nanoseconds spent parked
 
   op_counters& operator+=(const op_counters& other) noexcept;
   friend op_counters operator-(op_counters a, const op_counters& b) noexcept;
@@ -135,6 +138,9 @@ inline void count_unexposure(std::uint64_t n = 1) noexcept { (void)n; }
 inline void count_signal_sent() noexcept {}
 inline void count_task_executed() noexcept {}
 inline void count_idle_loop() noexcept {}
+inline void count_park() noexcept {}
+inline void count_wake(std::uint64_t n = 1) noexcept { (void)n; }
+inline void count_idle_ns(std::uint64_t ns) noexcept { (void)ns; }
 #else
 inline void count_fence() noexcept { ++local_counters().fences; }
 inline void count_cas(bool success) noexcept {
@@ -167,6 +173,13 @@ inline void count_task_executed() noexcept {
   ++local_counters().tasks_executed;
 }
 inline void count_idle_loop() noexcept { ++local_counters().idle_loops; }
+inline void count_park() noexcept { ++local_counters().parks; }
+inline void count_wake(std::uint64_t n = 1) noexcept {
+  local_counters().wakes += n;
+}
+inline void count_idle_ns(std::uint64_t ns) noexcept {
+  local_counters().idle_ns += ns;
+}
 #endif
 
 // ---- aggregation ---------------------------------------------------------
