@@ -1,14 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build and run the full test suite under both presets
-# (release and ThreadSanitizer). Usage: scripts/check.sh [ctest args...]
+# (release and ThreadSanitizer), then an AddressSanitizer+UBSan pass over
+# the hardening suites (exception propagation, fault injection, watchdog,
+# deque overflow) where memory errors would hide behind rare interleavings.
+#
+# Slow stress sweeps carry the `stress` ctest label; pass LCWS_QUICK=1 to
+# exclude them (`ctest -LE stress`) for a fast local iteration loop, and
+# LCWS_FI_SEEDS=<n> to deepen the fault-injection sweep for soak runs.
+# Usage: scripts/check.sh [ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
+label_filter=()
+if [[ "${LCWS_QUICK:-0}" != "0" ]]; then
+  label_filter=(-LE stress)
+fi
+
 for preset in default tsan; do
   echo "== preset: ${preset} =="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
-  ctest --preset "${preset}" -j "${jobs}" "$@"
+  ctest --preset "${preset}" -j "${jobs}" "${label_filter[@]}" "$@"
 done
+
+echo "== preset: asan (hardening suites) =="
+cmake --preset asan
+cmake --build --preset asan -j "${jobs}"
+ctest --preset asan -j "${jobs}" \
+  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque)' "${label_filter[@]}" "$@"

@@ -14,8 +14,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "deque/deque_common.h"
@@ -117,11 +116,18 @@ class abp_deque {
 
   bool empty_estimate() const noexcept { return size_estimate() == 0; }
 
+  // Racy one-line snapshot for watchdog/post-mortem dumps.
+  std::string debug_string() const {
+    const auto a = unpack_age(age_.load(std::memory_order_relaxed));
+    return "top=" + std::to_string(a.top) +
+           " bot=" + std::to_string(bot_.load(std::memory_order_relaxed)) +
+           " tag=" + std::to_string(a.tag) +
+           " cap=" + std::to_string(slots_.size());
+  }
+
  private:
   [[noreturn]] void overflow() const {
-    std::fprintf(stderr, "lcws: abp_deque overflow (capacity %zu)\n",
-                 slots_.size());
-    std::abort();
+    throw deque_overflow_error("abp_deque", slots_.size());
   }
 
   alignas(cache_line_size) std::atomic<std::int64_t> bot_{0};

@@ -2,8 +2,25 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace lcws {
+
+// Thrown by the bounded deques when a push would exceed capacity. This is
+// a detectable, recoverable error (it propagates through pardo's exception
+// path to the spawn site) rather than silent corruption or an abort: the
+// computation's outstanding jobs still drain, and the caller can retry
+// with a scheduler constructed with a larger deque_capacity.
+class deque_overflow_error : public std::length_error {
+ public:
+  deque_overflow_error(const char* which, std::size_t capacity)
+      : std::length_error(std::string("lcws: ") + which +
+                          " capacity exhausted (" +
+                          std::to_string(capacity) +
+                          " slots); construct the scheduler with a larger "
+                          "deque_capacity") {}
+};
 
 // Outcome of a thief-side pop_top.
 enum class steal_status : std::uint8_t {
@@ -41,7 +58,8 @@ constexpr age_t unpack_age(std::uint64_t word) noexcept {
 
 // Default per-worker deque capacity. Fork–join recursion depth is
 // logarithmic in problem size, but help-first joins can stack helped tasks'
-// frames, so we leave generous headroom; overflow is detected and aborts.
+// frames, so we leave generous headroom; overflow is detected and throws
+// deque_overflow_error.
 inline constexpr std::size_t default_deque_capacity = std::size_t{1} << 16;
 
 }  // namespace lcws

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <deque>
+#include <string>
 
 #include "stats/counters.h"
 #include "support/align.h"
@@ -119,6 +120,14 @@ class private_deque {
   std::size_t size() const noexcept { return stack_.size(); }
   bool has_pending_request() const noexcept {
     return request_.load(std::memory_order_relaxed) != nullptr;
+  }
+
+  // Watchdog/post-mortem snapshot. Deliberately reports only the atomic
+  // request slot: stack_ is a plain std::deque owned by the worker, so a
+  // concurrent size() from the monitor thread would be a data race.
+  std::string debug_string() const {
+    return std::string("mailbox pending_request=") +
+           (has_pending_request() ? "1" : "0");
   }
 
  private:

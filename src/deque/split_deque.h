@@ -33,7 +33,10 @@
 // stolen task between full drains; capacity must cover the maximum
 // outstanding depth plus that drift (in fork-join computations the drift
 // between drains is O(P * span), far below the default capacity).
-// Overflow is detected and aborts rather than corrupting.
+// Overflow is detected and throws deque_overflow_error rather than
+// corrupting: the failed push publishes nothing, so the in-flight
+// computation drains normally and the exception surfaces at the spawn
+// site (see job.h's exception contract).
 //
 // The exposure entry points (expose_one / expose_conservative /
 // expose_half) implement update_public_bottom under the three policies of
@@ -43,9 +46,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "deque/deque_common.h"
@@ -298,11 +300,21 @@ class split_deque {
     return private_size() + public_size();
   }
 
+  // Racy one-line snapshot of the index state for watchdog/post-mortem
+  // dumps (relaxed loads only; values may be mutually inconsistent).
+  std::string debug_string() const {
+    const auto a = unpack_age(age_.load(std::memory_order_relaxed));
+    return "top=" + std::to_string(a.top) +
+           " public_bot=" +
+           std::to_string(public_bot_.load(std::memory_order_relaxed)) +
+           " bot=" + std::to_string(bot_.load(std::memory_order_relaxed)) +
+           " tag=" + std::to_string(a.tag) +
+           " cap=" + std::to_string(slots_.size());
+  }
+
  private:
   [[noreturn]] void overflow() const {
-    std::fprintf(stderr, "lcws: split_deque overflow (capacity %zu)\n",
-                 slots_.size());
-    std::abort();
+    throw deque_overflow_error("split_deque", slots_.size());
   }
 
   // bot and public_bot share a line deliberately: both are owner-written,

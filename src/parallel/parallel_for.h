@@ -36,6 +36,12 @@ void parallel_for_rec(Sched& sched, std::size_t lo, std::size_t hi,
 }  // namespace detail
 
 // Applies f(i) for every i in [lo, hi). grain == 0 picks a default.
+//
+// Exception contract (inherited from scheduler::pardo): if f throws for
+// some i, the loop completes every other already-forked block (iterations
+// are not cancelled), then rethrows one of the thrown exceptions to the
+// parallel_for caller. Remaining iterations of the throwing block are
+// skipped; the scheduler itself stays fully usable afterwards.
 template <typename Sched, typename F>
 void parallel_for(Sched& sched, std::size_t lo, std::size_t hi, F&& f,
                   std::size_t grain = 0) {

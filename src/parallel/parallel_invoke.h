@@ -1,5 +1,12 @@
 // N-way fork-join: run any number of callables in parallel, returning when
 // all have finished. Built as a balanced binary pardo tree.
+//
+// Exception contract (inherited from scheduler::pardo): if any callable
+// throws, every other callable still runs to completion — the tree's joins
+// always drain before unwinding, so no job outlives its stack frame — and
+// then one of the thrown exceptions (the leftmost at each join, so the
+// lowest-index thrower along the surviving path) rethrows to the
+// parallel_invoke caller; the others are discarded.
 #pragma once
 
 #include <cstddef>

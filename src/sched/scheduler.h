@@ -34,6 +34,20 @@
 // wake storm when the whole pool idles.
 // Parking is gated by LCWS_NO_PARKING / a constructor knob and never
 // touches the paper's fence/CAS/steal/exposure counters (see DESIGN.md).
+//
+// Hardening (DESIGN.md "Failure model & hardening"):
+//   * Exceptions: a task that throws is captured in its job and rethrown
+//     at the spawning pardo after the join has drained — user exceptions
+//     surface at the spawn site in every family and never unwind a worker
+//     loop or the (noexcept) signal-handler exposure path.
+//   * Watchdog: LCWS_WATCHDOG_MS=<n> arms a monitor thread that dumps
+//     per-worker state (dump_worker_state()) and aborts when no task-level
+//     progress happens for a full deadline while a run() is active.
+//   * Fault injection: under LCWS_FAULT_INJECTION the fi:: sites in
+//     deque_steal/mailbox_steal (forced steal failure), signal_support.cpp
+//     (dropped/delayed/unsendable exposure signals) and parking_lot.h
+//     (spurious wakeups) can be armed deterministically; zero-cost
+//     otherwise.
 #pragma once
 
 #include <pthread.h>
@@ -43,8 +57,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -57,10 +73,12 @@
 #include "stats/counters.h"
 #include "support/align.h"
 #include "support/backoff.h"
+#include "support/fault_injection.h"
 #include "support/parking_lot.h"
 #include "support/rng.h"
 #include "support/threads.h"
 #include "support/timing.h"
+#include "support/watchdog.h"
 
 namespace lcws {
 
@@ -101,12 +119,20 @@ class scheduler {
     while (ready_.load(std::memory_order_acquire) + 1 < nworkers_) {
       std::this_thread::yield();
     }
+    // Opt-in stall watchdog (LCWS_WATCHDOG_MS): armed around each run(),
+    // reads only relaxed atomics, aborts with a per-worker dump on a stall.
+    if (const auto deadline = watchdog::env_deadline()) {
+      dog_ = std::make_unique<watchdog>(
+          *deadline, [this] { return progress_token(); },
+          [this] { return dump_worker_state(); });
+    }
   }
 
   scheduler(const scheduler&) = delete;
   scheduler& operator=(const scheduler&) = delete;
 
   ~scheduler() {
+    dog_.reset();  // the monitor reads worker state; stop it first
     {
       std::lock_guard<std::mutex> lock(mutex_);
       shutdown_.store(true, std::memory_order_release);
@@ -146,16 +172,32 @@ class scheduler {
     // Workers idling between runs may be in a timed park rather than the
     // inactive wait; hand each a permit so the computation starts promptly.
     if (parking_) stats::count_wake(lot_.unpark_all());
+    if (dog_) dog_->arm();
+    // The guard also fires when f throws: every pardo drains its sibling
+    // before rethrowing, so by the time an exception reaches here no task
+    // of this computation is in flight and deactivating is safe.
     struct deactivate {
       std::atomic<bool>& flag;
-      ~deactivate() { flag.store(false, std::memory_order_release); }
-    } guard{active_};
+      watchdog* dog;
+      ~deactivate() {
+        if (dog != nullptr) dog->disarm();
+        flag.store(false, std::memory_order_release);
+      }
+    } guard{active_, dog_.get()};
     return std::forward<F>(f)();
   }
 
   // Fork–join: schedules `right` for potential theft, runs `left` inline,
   // then joins. Callable from worker 0 or from inside any task. When called
   // outside run(), wraps itself in one.
+  //
+  // Exception semantics: if either branch throws, the other still runs to
+  // completion (the join *always* drains — right_job lives on this stack
+  // frame and may be executing on a thief, so unwinding early would be
+  // use-after-free). The exception then rethrows here, at the spawn site;
+  // when both branches throw, the left one wins and the right one is
+  // dropped. Nested pardos propagate the same way, so an exception deep in
+  // a stolen subtree climbs join by join to the original caller.
   template <typename L, typename R>
   void pardo(L&& left, R&& right) {
     if (!active_.load(std::memory_order_relaxed)) [[unlikely]] {
@@ -166,8 +208,20 @@ class scheduler {
     assert(self < nworkers_ && "pardo called from a non-worker thread");
     lambda_job<std::remove_reference_t<R>> right_job(right);
     push(self, &right_job);
-    left();
-    join(self, right_job);
+    if constexpr (std::is_nothrow_invocable_v<L&>) {
+      left();
+      join(self, right_job);
+    } else {
+      std::exception_ptr left_ex;
+      try {
+        left();
+      } catch (...) {
+        left_ex = std::current_exception();
+      }
+      join(self, right_job);
+      if (left_ex != nullptr) std::rethrow_exception(left_ex);
+    }
+    right_job.rethrow_if_exception();
   }
 
   // ---- instrumentation ----------------------------------------------------
@@ -183,6 +237,46 @@ class scheduler {
 
   // Whether elastic idling is in effect for this pool.
   bool parking_active() const noexcept { return parking_; }
+
+  // Whether the LCWS_WATCHDOG_MS stall watchdog is attached.
+  bool watchdog_active() const noexcept { return dog_ != nullptr; }
+
+  // Monotone token that advances whenever scheduler-level work happens
+  // (tasks executed, deque traffic). The watchdog samples it; a full
+  // deadline without movement while a run() is active is declared a stall.
+  std::uint64_t progress_token() const noexcept {
+    std::uint64_t token = 0;
+    for (const auto& block : counters_) {
+      const auto& c = block.get();
+      token += c.tasks_executed.get() + c.pushes.get() +
+               c.pops_private.get() + c.pops_public.get() + c.steals.get();
+    }
+    return token;
+  }
+
+  // Human-readable per-worker snapshot: deque indices, targeted/parked
+  // flags and key counters. Reads only relaxed atomics, so it is safe to
+  // call from the watchdog's monitor thread mid-hang (values are racy
+  // estimates — exactly what a post-mortem needs).
+  std::string dump_worker_state() const {
+    std::ostringstream out;
+    out << "scheduler=" << Policy::name << " workers=" << nworkers_
+        << " active=" << active_.load(std::memory_order_relaxed)
+        << " shutdown=" << shutdown_.load(std::memory_order_relaxed)
+        << " parking=" << parking_ << "\n";
+    for (std::size_t i = 0; i < nworkers_; ++i) {
+      const auto& c = counters_[i].get();
+      out << "  w" << i << ": deque{" << workers_[i]->deque.debug_string()
+          << "} targeted=" << targeted_[i]->load(std::memory_order_relaxed)
+          << " announced=" << lot_.is_announced(i)
+          << " tasks=" << c.tasks_executed.get()
+          << " steals=" << c.steals.get() << "/" << c.steal_attempts.get()
+          << " exposures=" << c.exposures.get()
+          << " idle_loops=" << c.idle_loops.get()
+          << " parks=" << c.parks.get() << "\n";
+    }
+    return out.str();
+  }
 
   // Test/diagnostic access.
   deque_type& deque_of(std::size_t worker) noexcept {
@@ -354,6 +448,11 @@ class scheduler {
     // The peek is a stale-tolerant hint: a victim waking concurrently is
     // simply probed again next round.
     if (parking_ && lot_.is_announced(victim)) return nullptr;
+    if (fi::inject(fi::site::steal_cas)) {
+      // Injected fault: the request CAS "loses" to another thief.
+      stats::count_steal_attempt();
+      return nullptr;
+    }
     auto& box = workers_[self]->mail;
     box.answer.store(steal_box<job>::pending(), std::memory_order_relaxed);
     auto& d = workers_[victim]->deque;
@@ -388,6 +487,14 @@ class scheduler {
 
   job* deque_steal(std::size_t victim) {
     auto& d = workers_[victim]->deque;
+    if (fi::inject(fi::site::steal_cas)) {
+      // Injected fault: behave exactly as a pop_top that lost its CAS race
+      // — attempt made, nothing taken, thief retries elsewhere. The deque
+      // is untouched, so the pushes == pops + steals balance is preserved.
+      stats::count_steal_attempt();
+      stats::count_steal_abort();
+      return nullptr;
+    }
     const auto result = d.pop_top();
     if (result.status == steal_status::stolen) {
       if constexpr (family == sched_family::signal) {
@@ -417,6 +524,12 @@ class scheduler {
           stats::count_exposure_request();
           if (detail::send_exposure_request(workers_[victim]->handle)) {
             stats::count_signal_sent();
+          } else {
+            // Delivery failed even after send_exposure_request's internal
+            // retry (counted in signals_failed). Leaving the flag set
+            // would permanently suppress signalling this victim; clear it
+            // so a later thief can try again.
+            flag.store(false, std::memory_order_relaxed);
           }
         }
       }
@@ -603,6 +716,7 @@ class scheduler {
   std::vector<std::thread> threads_;
   parking_lot lot_;
   const bool parking_;
+  std::unique_ptr<watchdog> dog_;  // LCWS_WATCHDOG_MS; null when disabled
 
   std::atomic<std::size_t> ready_{0};
   std::atomic<bool> shutdown_{false};

@@ -1,11 +1,16 @@
 #include "sched/signal_support.h"
 
+#include <errno.h>
 #include <signal.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+
+#include "stats/counters.h"
+#include "support/backoff.h"
+#include "support/fault_injection.h"
 
 namespace lcws::detail {
 namespace {
@@ -21,10 +26,25 @@ std::atomic<unsigned long long> g_handler_runs{0};
 
 void exposure_signal_handler(int /*signo*/) {
   // No errno-touching calls in here; the hooks only operate on lock-free
-  // atomics of this thread's own deque.
+  // atomics of this thread's own deque, and the fault-injection probes on
+  // atomics and this thread's own TLS.
+  g_handler_runs.fetch_add(1, std::memory_order_relaxed);
+  if (fi::inject(fi::site::exposure_drop)) {
+    // Injected fault: the signal is delivered but the exposure is lost —
+    // models a handler pre-empted by thread exit or a swallowed signal.
+    // The protocol must survive on truthfulness grounds alone: the victim
+    // keeps its work and executes it itself.
+    return;
+  }
+  if (fi::inject(fi::site::exposure_delay)) {
+    // Injected fault: stretch the window between signal delivery and the
+    // exposure store, widening the §4 pop_bottom/expose race that the
+    // decrement-first pop exists to close. A bounded busy spin is the only
+    // async-signal-safe delay.
+    for (int i = 0; i < 20000; ++i) cpu_relax();
+  }
   const hook_slot slot = tl_hook;
   if (slot.hook != nullptr) slot.hook(slot.context);
-  g_handler_runs.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -54,7 +74,27 @@ void set_exposure_hook(exposure_hook hook, void* context) noexcept {
 void clear_exposure_hook() noexcept { tl_hook = hook_slot{}; }
 
 bool send_exposure_request(pthread_t target) noexcept {
-  return pthread_kill(target, exposure_signal()) == 0;
+  // pthread_kill returns the error instead of setting errno, so this path
+  // stays errno-clean (it runs on thief threads, potentially between a
+  // user task's syscall and its errno check).
+  int rc = fi::inject(fi::site::signal_send)
+               ? EAGAIN
+               : pthread_kill(target, exposure_signal());
+  if (rc == 0) return true;
+  if (rc != ESRCH) {
+    // Transient failure (e.g. EAGAIN when the kernel's signal queue is
+    // full): back off briefly and retry once before giving up. ESRCH is
+    // permanent — the target thread is gone — so it skips the retry.
+    for (int i = 0; i < 256; ++i) cpu_relax();
+    rc = fi::inject(fi::site::signal_send)
+             ? EAGAIN
+             : pthread_kill(target, exposure_signal());
+    if (rc == 0) return true;
+  }
+  // Not silent: the caller observes `false` (and un-targets the victim so
+  // a later thief retries), and the profile records the delivery failure.
+  stats::count_signal_failed();
+  return false;
 }
 
 unsigned long long handler_invocations() noexcept {

@@ -31,8 +31,12 @@ void install_exposure_handler();
 void set_exposure_hook(exposure_hook hook, void* context) noexcept;
 void clear_exposure_hook() noexcept;
 
-// Sends an exposure request to `target`. Returns false if delivery failed
-// (e.g. the thread already exited).
+// Sends an exposure request to `target`. Distinguishes permanent failure
+// (ESRCH: the thread already exited) from transient failure (e.g. EAGAIN,
+// kernel signal queue full), retrying the latter once after a short
+// backoff. Returns false — and records the event in the `signals_failed`
+// stats counter — only when delivery definitively failed; callers should
+// then clear the victim's targeted flag so a later thief can retry.
 bool send_exposure_request(pthread_t target) noexcept;
 
 // Test hook: number of times the handler ran in this process.

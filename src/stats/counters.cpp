@@ -23,6 +23,7 @@ op_counters& op_counters::operator+=(const op_counters& other) noexcept {
   exposure_requests += other.exposure_requests;
   unexposures += other.unexposures;
   signals_sent += other.signals_sent;
+  signals_failed += other.signals_failed;
   tasks_executed += other.tasks_executed;
   idle_loops += other.idle_loops;
   parks += other.parks;
@@ -46,6 +47,7 @@ op_counters operator-(op_counters a, const op_counters& b) noexcept {
   a.exposure_requests -= b.exposure_requests;
   a.unexposures -= b.unexposures;
   a.signals_sent -= b.signals_sent;
+  a.signals_failed -= b.signals_failed;
   a.tasks_executed -= b.tasks_executed;
   a.idle_loops -= b.idle_loops;
   a.parks -= b.parks;
@@ -79,7 +81,8 @@ std::string format_profile(const profile& p) {
       << "exposures=" << t.exposures
       << " exposure_requests=" << t.exposure_requests
       << " unexposures=" << t.unexposures
-      << " signals_sent=" << t.signals_sent << "\n"
+      << " signals_sent=" << t.signals_sent
+      << " signals_failed=" << t.signals_failed << "\n"
       << "tasks_executed=" << t.tasks_executed
       << " idle_loops=" << t.idle_loops << "\n"
       << "parks=" << t.parks << " wakes=" << t.wakes

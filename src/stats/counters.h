@@ -81,6 +81,8 @@ struct op_counters {
   relaxed_counter unexposures;     // tasks reclaimed public -> private
                                    // (Lace-style schedulers only)
   relaxed_counter signals_sent;    // pthread_kill(SIGUSR1) system calls
+  relaxed_counter signals_failed;  // exposure sends that failed delivery
+                                   // even after the one-retry backoff
   relaxed_counter tasks_executed;  // jobs actually run by this worker
   relaxed_counter idle_loops;      // scheduling-loop iterations w/o a task
   relaxed_counter parks;           // park episodes (worker blocked idle)
@@ -136,6 +138,7 @@ inline void count_exposure(std::uint64_t n = 1) noexcept { (void)n; }
 inline void count_exposure_request() noexcept {}
 inline void count_unexposure(std::uint64_t n = 1) noexcept { (void)n; }
 inline void count_signal_sent() noexcept {}
+inline void count_signal_failed() noexcept {}
 inline void count_task_executed() noexcept {}
 inline void count_idle_loop() noexcept {}
 inline void count_park() noexcept {}
@@ -169,6 +172,9 @@ inline void count_unexposure(std::uint64_t n = 1) noexcept {
   local_counters().unexposures += n;
 }
 inline void count_signal_sent() noexcept { ++local_counters().signals_sent; }
+inline void count_signal_failed() noexcept {
+  ++local_counters().signals_failed;
+}
 inline void count_task_executed() noexcept {
   ++local_counters().tasks_executed;
 }

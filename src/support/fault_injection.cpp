@@ -1,0 +1,99 @@
+#include "support/fault_injection.h"
+
+#include "support/rng.h"
+#include "support/threads.h"
+
+#include <atomic>
+
+namespace lcws::fi {
+
+// Always present so linking against a mixed-mode object set can ask which
+// flavour it got, even when the hooks themselves are compiled away.
+const char* build_mode() noexcept {
+#ifdef LCWS_FAULT_INJECTION
+  return "fault-injection";
+#else
+  return "production";
+#endif
+}
+
+#ifdef LCWS_FAULT_INJECTION
+
+namespace {
+
+// Global arm state. `generation` doubles as the on/off switch (0 = never
+// configured) and as the epoch that tells per-thread streams to re-seed.
+std::atomic<std::uint64_t> g_seed{0};
+std::atomic<std::uint32_t> g_rate_permille{0};
+std::atomic<std::uint32_t> g_site_mask{0};
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<std::uint64_t> g_injected[num_sites] = {};
+
+// Per-thread splitmix64 stream. The exposure signal handler shares this
+// state with its host thread; an interrupt mid-draw can at worst replay one
+// draw, which perturbs the schedule but never corrupts the state machine.
+struct tl_stream {
+  std::uint64_t state = 0;
+  std::uint64_t generation = 0;
+};
+thread_local tl_stream tl;
+
+}  // namespace
+
+void configure(std::uint64_t seed, std::uint32_t rate_permille,
+               std::uint32_t site_mask) noexcept {
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_rate_permille.store(rate_permille > 1000 ? 1000 : rate_permille,
+                        std::memory_order_relaxed);
+  g_site_mask.store(site_mask & all_sites, std::memory_order_relaxed);
+  for (auto& c : g_injected) c.store(0, std::memory_order_relaxed);
+  // The release publishes the new parameters to threads that observe the
+  // bumped generation.
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+void disable() noexcept {
+  g_rate_permille.store(0, std::memory_order_relaxed);
+  g_site_mask.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+bool armed() noexcept {
+  return g_generation.load(std::memory_order_relaxed) != 0 &&
+         g_rate_permille.load(std::memory_order_relaxed) != 0;
+}
+
+bool inject(site s) noexcept {
+  const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (gen == 0) return false;
+  const std::uint32_t mask = g_site_mask.load(std::memory_order_relaxed);
+  if ((mask & site_bit(s)) == 0) return false;
+  const std::uint32_t rate = g_rate_permille.load(std::memory_order_relaxed);
+  if (rate == 0) return false;
+  if (tl.generation != gen) {
+    // Re-seed for the new configuration: seed x worker id keeps streams
+    // independent across workers yet reproducible run over run.
+    tl.generation = gen;
+    tl.state = hash64(g_seed.load(std::memory_order_relaxed) ^
+                      hash64(0xfa017ULL + this_worker_id()));
+  }
+  // splitmix64 step.
+  std::uint64_t z = (tl.state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const bool hit = (z % 1000) < rate;
+  if (hit) {
+    g_injected[static_cast<unsigned>(s)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return hit;
+}
+
+std::uint64_t injected_count(site s) noexcept {
+  return g_injected[static_cast<unsigned>(s)].load(std::memory_order_relaxed);
+}
+
+#endif  // LCWS_FAULT_INJECTION
+
+}  // namespace lcws::fi

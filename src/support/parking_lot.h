@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "support/align.h"
+#include "support/fault_injection.h"
 
 namespace lcws {
 
@@ -120,8 +121,12 @@ class parking_lot {
   // the announcement on return.
   bool park(std::size_t i, std::chrono::microseconds timeout) {
     slot& s = *slots_[i];
-    bool woken;
-    {
+    bool woken = false;
+    if (fi::inject(fi::site::spurious_wake)) {
+      // Injected fault: the wait "returns" instantly without a permit, as
+      // a spurious OS wakeup would. A pending permit is left sticky for
+      // the next park; the retire path below runs unchanged.
+    } else {
       std::unique_lock<std::mutex> lock(s.m);
       woken = s.cv.wait_for(lock, timeout, [&] { return s.permit; });
       s.permit = false;

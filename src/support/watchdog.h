@@ -1,0 +1,166 @@
+// Stall watchdog: turns scheduler hangs into diagnosable reports.
+//
+// A fork-join runtime that deadlocks — a lost wakeup, a dropped exposure
+// signal whose victim never re-exposes, a join spinning on a task nobody
+// will ever run — presents as a silent hang: every worker parked or
+// spinning, zero CPU signal, nothing on stderr. This monitor converts that
+// into a hard failure with a state dump.
+//
+// The monitor thread samples a caller-supplied progress token (the
+// scheduler sums its tasks-executed/push/pop/steal counters) once per
+// deadline while *armed* (the scheduler arms around each run()). If the
+// token is unchanged across a full deadline, it calls the dump callback
+// (per-worker deque indices, parked/targeted flags, counter snapshot) and
+// hands the report to the stall handler — by default: print and abort.
+//
+// Caveat, by design: the token only moves when the scheduler schedules, so
+// a single sequential task that legitimately runs longer than the deadline
+// is indistinguishable from a hang. The watchdog is therefore opt-in
+// (LCWS_WATCHDOG_MS, unset by default) and the deadline should exceed the
+// longest expected task. Detection latency is between one and two
+// deadlines (the first sample after arming establishes the baseline).
+//
+// The monitor reads only relaxed atomics through its callbacks, so it
+// perturbs none of the paper's fence/CAS/steal counters and is
+// TSan-clean.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace lcws {
+
+class watchdog {
+ public:
+  using progress_fn = std::function<std::uint64_t()>;
+  using dump_fn = std::function<std::string()>;
+  using stall_fn = std::function<void(const std::string&)>;
+
+  // `progress` must be monotone while work is happening; `dump` renders the
+  // state report; `on_stall` receives it (default: stderr + abort; tests
+  // substitute a recorder). Callbacks run on the monitor thread.
+  watchdog(std::chrono::milliseconds deadline, progress_fn progress,
+           dump_fn dump, stall_fn on_stall = {})
+      : deadline_(deadline),
+        progress_(std::move(progress)),
+        dump_(std::move(dump)),
+        on_stall_(on_stall ? std::move(on_stall) : default_stall),
+        monitor_([this] { monitor_loop(); }) {}
+
+  watchdog(const watchdog&) = delete;
+  watchdog& operator=(const watchdog&) = delete;
+
+  ~watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+  }
+
+  // Start watching (a computation is beginning). Resets the baseline so a
+  // stalled *previous* run cannot bleed a stale token into this one.
+  void arm() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      armed_ = true;
+      rebaseline_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Stop watching (the computation finished; idleness is now legitimate).
+  void disarm() {
+    std::lock_guard<std::mutex> lock(m_);
+    armed_ = false;
+  }
+
+  std::chrono::milliseconds deadline() const noexcept { return deadline_; }
+
+  // Number of stalls reported so far (only observable when the stall
+  // handler returns, i.e. under a test handler).
+  std::uint64_t stalls_reported() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  // Parses LCWS_WATCHDOG_MS: a positive integer enables the watchdog with
+  // that deadline; unset/zero/garbage disables it.
+  static std::optional<std::chrono::milliseconds> env_deadline() noexcept {
+    const char* s = std::getenv("LCWS_WATCHDOG_MS");
+    if (s == nullptr || *s == '\0') return std::nullopt;
+    char* end = nullptr;
+    const unsigned long long ms = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || ms == 0) return std::nullopt;
+    return std::chrono::milliseconds(ms);
+  }
+
+ private:
+  static void default_stall(const std::string& report) {
+    std::fprintf(stderr,
+                 "lcws: watchdog: no scheduler progress for a full "
+                 "deadline; worker state follows\n%s",
+                 report.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  void monitor_loop() {
+    std::unique_lock<std::mutex> lock(m_);
+    std::uint64_t baseline = 0;
+    bool have_baseline = false;
+    while (!stop_) {
+      cv_.wait_for(lock, deadline_, [this] { return stop_ || rebaseline_; });
+      if (stop_) break;
+      if (rebaseline_) {
+        rebaseline_ = false;
+        have_baseline = false;
+      }
+      if (!armed_) {
+        have_baseline = false;
+        continue;
+      }
+      lock.unlock();
+      const std::uint64_t token = progress_();
+      lock.lock();
+      if (stop_) break;
+      if (!armed_ || rebaseline_) continue;  // disarmed/re-armed mid-sample
+      if (have_baseline && token == baseline) {
+        lock.unlock();
+        const std::string report = dump_();
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        on_stall_(report);  // default never returns
+        lock.lock();
+        have_baseline = false;  // test handlers return: start a fresh window
+      } else {
+        baseline = token;
+        have_baseline = true;
+      }
+    }
+  }
+
+  const std::chrono::milliseconds deadline_;
+  const progress_fn progress_;
+  const dump_fn dump_;
+  const stall_fn on_stall_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool armed_ = false;
+  bool rebaseline_ = false;
+  std::atomic<std::uint64_t> stalls_{0};
+  std::thread monitor_;  // last: starts after every field it reads
+};
+
+}  // namespace lcws

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -685,6 +686,65 @@ TEST(SplitDequeStress, ExactlyOnceWithConservativeExposure) {
     if (int* t = dq.pop_bottom_original()) return t;
     return dq.pop_public_bottom();
   });
+}
+
+// ---------------------------------------------------------------------------
+// Capacity exhaustion: a detectable error, not undefined behavior
+// ---------------------------------------------------------------------------
+
+TEST(SplitDeque, OverflowThrowsWithoutCorruption) {
+  auto arena = make_arena(10);
+  split_deque<int> d(8);
+  for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  try {
+    d.push_bottom(&arena[8]);
+    FAIL() << "expected deque_overflow_error";
+  } catch (const deque_overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("split_deque"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("deque_capacity"), std::string::npos);
+  }
+  // The failed push published nothing: the 8 resident tasks drain intact
+  // and the deque is usable again afterwards.
+  for (int i = 7; i >= 0; --i) {
+    EXPECT_EQ(d.pop_bottom_original(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom_original(), nullptr);
+  d.push_bottom(&arena[0]);
+  EXPECT_EQ(d.pop_bottom_original(), &arena[0]);
+}
+
+// The documented capacity contract: a steal consumes the top slot without
+// lowering bot, so stolen slots stay unavailable until the owner drains
+// the deque completely — filling past that drift must throw, not corrupt.
+TEST(SplitDeque, StealDriftOverflowIsDetected) {
+  auto arena = make_arena(9);
+  split_deque<int> d(8);
+  for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  while (d.expose_one() == 1) {
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(d.pop_top().status, steal_status::stolen);
+  }
+  EXPECT_EQ(d.size_estimate(), 0);
+  // All 8 slots are behind top; bot never came down, so the next push
+  // overflows even though the deque is logically empty.
+  EXPECT_THROW(d.push_bottom(&arena[8]), deque_overflow_error);
+  // Owner-side drain (pop_public_bottom on the empty deque) resets the
+  // indices and restores full capacity.
+  EXPECT_EQ(d.pop_public_bottom(), nullptr);
+  for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(d.size_estimate(), 8);
+}
+
+TEST(AbpDeque, OverflowThrowsWithoutCorruption) {
+  auto arena = make_arena(9);
+  abp_deque<int> d(8);
+  for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  EXPECT_THROW(d.push_bottom(&arena[8]), deque_overflow_error);
+  for (int i = 7; i >= 0; --i) {
+    EXPECT_EQ(d.pop_bottom(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom(), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+// Deterministic fault-injection sweep: seeds x schedulers x armed fault
+// sites. This binary links the LCWS_FAULT_INJECTION build of the library,
+// so the fi:: hooks at the named sites (forced steal-CAS losses, dropped/
+// delayed exposure signals, failed pthread_kill, spurious park wakeups)
+// are live; every run must still complete with the correct result and
+// balanced stats counters — faults may cost performance, never progress
+// or correctness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "parallel/parallel_for.h"
+#include "sched/dispatch.h"
+#include "sched/scheduler.h"
+#include "support/fault_injection.h"
+
+namespace lcws {
+namespace {
+
+TEST(FaultInjectionBuild, HooksCompiledIn) {
+  ASSERT_TRUE(fi::compiled_in())
+      << "fault_injection_test must link the LCWS_FAULT_INJECTION library";
+  EXPECT_FALSE(fi::armed());
+}
+
+TEST(FaultInjectionBuild, ConfigureArmsAndDisableDisarms) {
+  fi::configure(/*seed=*/1, /*rate_permille=*/1000,
+                fi::site_bit(fi::site::steal_cas));
+  EXPECT_TRUE(fi::armed());
+  // With rate 1000 every visit to an armed site injects.
+  EXPECT_TRUE(fi::inject(fi::site::steal_cas));
+  EXPECT_GE(fi::injected_count(fi::site::steal_cas), 1u);
+  // Unarmed sites never fire regardless of rate.
+  EXPECT_FALSE(fi::inject(fi::site::spurious_wake));
+  fi::disable();
+  EXPECT_FALSE(fi::armed());
+  EXPECT_FALSE(fi::inject(fi::site::steal_cas));
+}
+
+TEST(FaultInjectionBuild, SameSeedSameSchedule) {
+  auto draw = [](std::uint64_t seed) {
+    fi::configure(seed, 500);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += fi::inject(fi::site::steal_cas) ? '1' : '0';
+    }
+    fi::disable();
+    return pattern;
+  };
+  const auto a = draw(1234), b = draw(1234), c = draw(5678);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 false-failure odds
+}
+
+// ---------------------------------------------------------------------------
+// The sweep
+// ---------------------------------------------------------------------------
+
+template <typename Sched>
+std::uint64_t fib(Sched& sched, unsigned n) {
+  if (n < 2) return n;
+  if (n < 10) {
+    std::uint64_t a = 0, b = 1;
+    for (unsigned i = 1; i < n; ++i) {
+      const std::uint64_t c = a + b;
+      a = b;
+      b = c;
+    }
+    return b;
+  }
+  std::uint64_t left = 0, right = 0;
+  sched.pardo([&] { left = fib(sched, n - 1); },
+              [&] { right = fib(sched, n - 2); });
+  return left + right;
+}
+
+// Seeds per scheduler kind; acceptance floor is 64, raisable for soak runs.
+int sweep_seeds() {
+  if (const char* s = std::getenv("LCWS_FI_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 64;
+}
+
+class FaultSweep : public ::testing::TestWithParam<sched_kind> {
+ protected:
+  void TearDown() override { fi::disable(); }
+};
+
+TEST_P(FaultSweep, CompletesCorrectlyWithBalancedStatsUnderFaults) {
+  const sched_kind kind = GetParam();
+  const int seeds = sweep_seeds();
+  for (int seed = 0; seed < seeds; ++seed) {
+    // 10% fault rate across every site: high enough that a typical run
+    // injects dozens of faults, low enough that work still flows.
+    fi::configure(static_cast<std::uint64_t>(seed) * 0x9e3779b9ULL + 1,
+                  /*rate_permille=*/100, fi::all_sites);
+    with_scheduler(kind, 4, [&](auto& sched) {
+      sched.reset_counters();
+      // Fork-join compute plus a parallel_for: both the pardo hot path and
+      // the toolkit path run under fire.
+      const std::uint64_t f = sched.run([&] { return fib(sched, 17); });
+      EXPECT_EQ(f, 1597u) << to_string(kind) << " seed " << seed;
+      std::atomic<std::uint64_t> sum{0};
+      sched.run([&] {
+        par::parallel_for(
+            sched, 0, 4096,
+            [&](std::size_t i) {
+              sum.fetch_add(i, std::memory_order_relaxed);
+            },
+            32);
+      });
+      EXPECT_EQ(sum.load(), 4096ull * 4095 / 2)
+          << to_string(kind) << " seed " << seed;
+      // Balance: every pushed job consumed exactly once, every original
+      // job executed exactly once (re-pushes from Lace unexposure are the
+      // only double-counted pushes), and no counter went negative.
+      const auto t = sched.profile().totals;
+      EXPECT_EQ(t.pushes.get(), t.pops_private.get() + t.pops_public.get() +
+                                    t.steals.get())
+          << to_string(kind) << " seed " << seed;
+      EXPECT_EQ(t.tasks_executed.get(), t.pushes.get() - t.unexposures.get())
+          << to_string(kind) << " seed " << seed;
+      EXPECT_GE(t.steal_attempts.get(), t.steals.get() + t.steal_aborts.get());
+      // Signal family: every counted exposure request resolved to exactly
+      // one delivery outcome (sent or recorded-failed).
+      if (kind == sched_kind::signal || kind == sched_kind::conservative ||
+          kind == sched_kind::expose_half) {
+        EXPECT_EQ(t.exposure_requests.get(),
+                  t.signals_sent.get() + t.signals_failed.get())
+            << to_string(kind) << " seed " << seed;
+      }
+    });
+    fi::disable();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, FaultSweep, ::testing::ValuesIn(all_sched_kinds),
+    [](const ::testing::TestParamInfo<sched_kind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+// Directed test: with pthread_kill forced to fail 100% of the time, the
+// signal family must fall back to self-execution — completing correctly —
+// and account every failed delivery in signals_failed.
+TEST(FaultDirected, SignalSendAlwaysFailsStillCompletes) {
+  fi::configure(7, /*rate_permille=*/1000, fi::site_bit(fi::site::signal_send));
+  signal_scheduler sched(4);
+  sched.reset_counters();
+  EXPECT_EQ(sched.run([&] { return fib(sched, 17); }), 1597u);
+  const auto t = sched.profile().totals;
+  EXPECT_EQ(t.signals_sent.get(), 0u);
+  EXPECT_EQ(t.exposure_requests.get(), t.signals_failed.get());
+  fi::disable();
+}
+
+// Directed test: every exposure signal delivered but dropped by the
+// handler — the victim simply keeps and executes its own work.
+TEST(FaultDirected, ExposureAlwaysDroppedStillCompletes) {
+  fi::configure(8, /*rate_permille=*/1000,
+                fi::site_bit(fi::site::exposure_drop));
+  expose_half_scheduler sched(4);
+  sched.reset_counters();
+  EXPECT_EQ(sched.run([&] { return fib(sched, 17); }), 1597u);
+  const auto t = sched.profile().totals;
+  // Dropped handlers expose nothing, so thieves can never steal from the
+  // split deque's (empty) public part.
+  EXPECT_EQ(t.exposures.get(), 0u);
+  EXPECT_EQ(t.steals.get(), 0u);
+  fi::disable();
+}
+
+// Directed test: every steal attempt loses its CAS — the pool degrades to
+// sequential execution by the owner but still terminates correctly.
+TEST(FaultDirected, AllStealsFailStillCompletes) {
+  fi::configure(9, /*rate_permille=*/1000, fi::site_bit(fi::site::steal_cas));
+  uslcws_scheduler sched(4);
+  sched.reset_counters();
+  EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u);
+  EXPECT_EQ(sched.profile().totals.steals.get(), 0u);
+  fi::disable();
+}
+
+// Directed test: parking under permanent spurious wakeups must neither
+// hang nor lose permits.
+TEST(FaultDirected, SpuriousWakeupsEverywhereStillCompletes) {
+  fi::configure(10, /*rate_permille=*/1000,
+                fi::site_bit(fi::site::spurious_wake));
+  ws_scheduler sched(4, default_deque_capacity, parking_mode::enabled);
+  sched.reset_counters();
+  EXPECT_EQ(sched.run([&] { return fib(sched, 17); }), 1597u);
+  fi::disable();
+}
+
+}  // namespace
+}  // namespace lcws
