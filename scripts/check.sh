@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build and run the full test suite under both presets
 # (release and ThreadSanitizer), then an AddressSanitizer+UBSan pass over
-# the hardening suites (exception propagation, fault injection, watchdog,
-# deque overflow) where memory errors would hide behind rare interleavings.
+# the hardening suites (exception propagation, fault injection + graceful
+# degradation, watchdog, shutdown/quiescence, health monitor, deque
+# overflow) where memory errors would hide behind rare interleavings.
 #
 # Slow stress sweeps carry the `stress` ctest label; pass LCWS_QUICK=1 to
 # exclude them (`ctest -LE stress`) for a fast local iteration loop, and
@@ -29,4 +30,5 @@ echo "== preset: asan (hardening suites) =="
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}" \
-  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque)' "${label_filter[@]}" "$@"
+  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque|[Ss]hutdown|[Hh]ealth|[Dd]egrad|DumpOnExit|StealThrottle|Backoff)' \
+  "${label_filter[@]}" "$@"

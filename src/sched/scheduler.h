@@ -48,6 +48,27 @@
 //     (dropped/delayed/unsendable exposure signals) and parking_lot.h
 //     (spurious wakeups) can be armed deterministically; zero-cost
 //     otherwise.
+//
+// Graceful degradation (DESIGN.md §6, support/health.h):
+//   * Signal fallback: a per-victim health monitor watches exposure-signal
+//     delivery (send failures, handler round-trip latency). When it trips,
+//     thieves route that victim's exposure requests through the USLCWS
+//     user-space flag (the victim polls it in get_local, exactly Listing
+//     1's protocol) and probe the signal path every few requests; sustained
+//     probe success restores it. Transitions and routed requests are
+//     counted (degrade_events / recover_events / fallback_exposures), and
+//     the signal-family balance widens to
+//     exposure_requests == signals_sent + signals_failed +
+//     fallback_exposures.
+//   * Oversubscription-aware stealing: idle workers sample involuntary
+//     context switches (getrusage) and their steal-success EWMA; under
+//     preemption pressure they burn a bounded steal-attempt budget per
+//     deadline window, then escalate the shared backoff straight to
+//     sched_yield and park after a quarter of the usual fruitless rounds.
+//   * LCWS_DEGRADE_OFF=1 disables the whole layer; the hot paths are then
+//     bit-for-bit the legacy protocol (no new fences, CAS, or atomics).
+//   * LCWS_DUMP_ON_EXIT emits dump_worker_state() at destruction ("1" or
+//     "stderr" to stderr, anything else appends to that file path).
 #pragma once
 
 #include <pthread.h>
@@ -57,6 +78,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -74,6 +97,7 @@
 #include "support/align.h"
 #include "support/backoff.h"
 #include "support/fault_injection.h"
+#include "support/health.h"
 #include "support/parking_lot.h"
 #include "support/rng.h"
 #include "support/threads.h"
@@ -101,10 +125,16 @@ class scheduler {
         counters_(nworkers_),
         lot_(nworkers_),
         parking_(parking_enabled(parking) && nworkers_ > 1),
+        health_(nworkers_, health::config::from_env()),
+        dump_on_exit_([] {
+          const char* s = std::getenv("LCWS_DUMP_ON_EXIT");
+          return s == nullptr ? std::string() : std::string(s);
+        }()),
         owner_(std::this_thread::get_id()) {
     workers_.reserve(nworkers_);
     for (std::size_t i = 0; i < nworkers_; ++i) {
-      workers_.push_back(std::make_unique<worker_state>(i, deque_capacity));
+      workers_.push_back(
+          std::make_unique<worker_state>(this, i, deque_capacity));
     }
     if constexpr (family == sched_family::signal) {
       detail::install_exposure_handler();
@@ -140,6 +170,9 @@ class scheduler {
     idle_cv_.notify_all();
     lot_.unpark_all();  // parked workers must observe shutdown_
     for (auto& t : threads_) t.join();
+    // Post-mortem knob: all workers have joined, so the state below is the
+    // pool's final quiescent snapshot.
+    if (!dump_on_exit_.empty()) emit_exit_dump();
     unregister_worker();
   }
 
@@ -273,9 +306,21 @@ class scheduler {
           << " steals=" << c.steals.get() << "/" << c.steal_attempts.get()
           << " exposures=" << c.exposures.get()
           << " idle_loops=" << c.idle_loops.get()
-          << " parks=" << c.parks.get() << "\n";
+          << " parks=" << c.parks.get();
+      if (health_.enabled()) {
+        out << " health{" << health_.debug_string(i) << "}";
+      }
+      out << "\n";
     }
     return out.str();
+  }
+
+  // Whether the §6 degradation layer is active (LCWS_DEGRADE_OFF unset).
+  bool degradation_active() const noexcept { return health_.enabled(); }
+
+  // Relaxed snapshot of one victim's signal-path state (test/diagnostic).
+  bool is_degraded(std::size_t worker) const noexcept {
+    return health_.enabled() && health_.is_degraded(worker);
   }
 
   // Test/diagnostic access.
@@ -309,12 +354,20 @@ class scheduler {
   static constexpr std::uint32_t kParkMaxUs = 20000;
 
   struct worker_state {
-    worker_state(std::size_t id, std::size_t deque_capacity)
-        : deque(deque_capacity), rng(hash64(0x5eed5eedULL + id)) {}
+    worker_state(scheduler* p, std::size_t i, std::size_t deque_capacity)
+        : pool(p),
+          id(i),
+          deque(deque_capacity),
+          rng(hash64(0x5eed5eedULL + i)),
+          throttle(p->health_.cfg().steal_budget,
+                   p->health_.cfg().budget_window_ns) {}
+    scheduler* const pool;     // back-pointer for the exposure trampoline
+    const std::size_t id;
     deque_type deque;
     xoshiro256 rng;            // victim selection; owner-only
     pthread_t handle{};        // published before ready_ increments
     steal_box<job> mail;       // mailbox family: this worker's answer box
+    health::steal_throttle throttle;  // §6 steal budget; owner-only
     std::uint32_t park_timeout_us = kParkMinUs;  // adaptive; owner-only
   };
 
@@ -333,7 +386,7 @@ class scheduler {
     stats::set_local_counters(&counters_[id].get());
     workers_[id]->handle = pthread_self();
     if constexpr (family == sched_family::signal) {
-      detail::set_exposure_hook(&exposure_trampoline, &workers_[id]->deque);
+      detail::set_exposure_hook(&exposure_trampoline, workers_[id].get());
     }
   }
 
@@ -346,9 +399,15 @@ class scheduler {
   }
 
   // SIGUSR1 lands here on the victim's thread (signal family only):
-  // transfer work to the public part in constant time (Section 4).
+  // transfer work to the public part in constant time (Section 4). The
+  // health tick is a relaxed load+store on this thread's own slot —
+  // async-signal-safe — and lets thieves measure the exposure round trip.
   static void exposure_trampoline(void* ctx) noexcept {
-    Policy::expose(*static_cast<deque_type*>(ctx));
+    auto* ws = static_cast<worker_state*>(ctx);
+    Policy::expose(ws->deque);
+    if (ws->pool->health_.enabled()) {
+      ws->pool->health_.note_handler_ran(ws->id);
+    }
   }
 
   // ---- wake chain ---------------------------------------------------------
@@ -415,12 +474,25 @@ class scheduler {
       return d.pop_bottom();
     } else {  // signal family
       job* task = Policy::pop_local(d);
-      if (task != nullptr) return task;
+      if (task != nullptr) {
+        if (health_.enabled() && health_.is_degraded(self)) [[unlikely]] {
+          answer_fallback_request(self, d);
+        }
+        return task;
+      }
       task = d.pop_public_bottom();
       if (task != nullptr) {
         // A task left the public part: allow new notifications.
         targeted_[self]->store(false, std::memory_order_relaxed);
         return task;
+      }
+      if (health_.enabled() && health_.is_degraded(self)) [[unlikely]] {
+        // Going idle: answer (and clear) any pending fallback request now.
+        // A request can land just after our last private pop — without this
+        // the flag would stay set across the park, and a set flag gates
+        // future requests, which would starve the probe cadence and make
+        // recovery unreachable.
+        answer_fallback_request(self, d);
       }
       return nullptr;
     }
@@ -518,23 +590,167 @@ class scheduler {
         // parked — no wake needed; the handler's exposure is harvested by
         // this (awake) thief on a later round.
         auto& flag = targeted_[victim].get();
-        if (!flag.load(std::memory_order_relaxed) &&
-            Policy::should_signal(d)) {
-          flag.store(true, std::memory_order_relaxed);
-          stats::count_exposure_request();
-          if (detail::send_exposure_request(workers_[victim]->handle)) {
-            stats::count_signal_sent();
+        const bool pending = flag.load(std::memory_order_relaxed);
+        if (!pending && Policy::should_signal(d)) {
+          if (!health_.enabled()) {
+            // Legacy path, bit-for-bit (LCWS_DEGRADE_OFF).
+            flag.store(true, std::memory_order_relaxed);
+            stats::count_exposure_request();
+            if (detail::send_exposure_request(workers_[victim]->handle)) {
+              stats::count_signal_sent();
+            } else {
+              // Delivery failed even after send_exposure_request's retry
+              // budget (counted in signals_failed). Leaving the flag set
+              // would permanently suppress signalling this victim; clear
+              // it so a later thief can try again.
+              flag.store(false, std::memory_order_relaxed);
+            }
           } else {
-            // Delivery failed even after send_exposure_request's internal
-            // retry (counted in signals_failed). Leaving the flag set
-            // would permanently suppress signalling this victim; clear it
-            // so a later thief can try again.
-            flag.store(false, std::memory_order_relaxed);
+            request_exposure_monitored(victim, flag);
           }
+        } else if (pending && health_.enabled() &&
+                   health_.is_degraded(victim) && Policy::should_signal(d)) {
+          // The victim is degraded and a request is already pending. That
+          // flag may be stale — set in the race window after the victim's
+          // last poll, so nobody will ever answer it. Re-requesting keeps
+          // the probe cadence (and thus recovery) alive; accounting stays
+          // balanced because each re-request resolves to exactly one of
+          // fallback_exposures / signals_sent / signals_failed like any
+          // other request.
+          request_exposure_monitored(victim, flag);
         }
       }
     }
     return nullptr;
+  }
+
+  // ---- graceful degradation (signal family; DESIGN.md §6) -----------------
+
+  // Counts a state-machine transition on the observing thief's block.
+  // Exactly one caller per transition sees a non-none value (the monitor's
+  // compare_exchange picks the winner), so the counters stay exact.
+  static void note_transition(health::transition t) noexcept {
+    if (t == health::transition::degraded) {
+      stats::count_degrade_event();
+    } else if (t == health::transition::recovered) {
+      stats::count_recover_event();
+    }
+  }
+
+  // One exposure request with the health monitor in the loop. Accounting
+  // invariant: every request resolves to exactly one of signals_sent,
+  // signals_failed or fallback_exposures.
+  //
+  //   healthy --send fails (streak/EWMA)--> degraded
+  //   degraded: requests set the user-space flag (fallback_exposures);
+  //             every probe_period-th request probes the signal path
+  //   degraded --recover_streak successful probes--> healthy
+  void request_exposure_monitored(std::size_t victim,
+                                  std::atomic<bool>& flag) {
+    const std::uint64_t now = monotonic_ns();
+    // Resolve a pending round-trip measurement first: a timed-out handler
+    // is (EWMA) evidence even when sends keep succeeding.
+    note_transition(health_.poll_rtt(victim, now));
+    flag.store(true, std::memory_order_relaxed);
+    stats::count_exposure_request();
+    if (!health_.is_degraded(victim)) {
+      int attempts = 1;
+      if (detail::send_exposure_request(workers_[victim]->handle,
+                                        &attempts)) {
+        stats::count_signal_sent();
+        health_.note_send_ok(victim, attempts);
+        health_.arm_rtt(victim, now);
+        return;
+      }
+      const health::transition t = health_.note_send_failure(victim);
+      note_transition(t);
+      if (t == health::transition::degraded) {
+        // This very request converts in place: the flag stays set and the
+        // victim answers it through the user-space poll in get_local.
+        return;
+      }
+      // Still healthy: legacy behavior — clear so a later thief retries.
+      flag.store(false, std::memory_order_relaxed);
+      return;
+    }
+    // Degraded: the request rides the user-space flag. Periodically probe
+    // the signal path so sustained recovery can restore it.
+    if (health_.should_probe(victim)) {
+      int attempts = 1;
+      if (detail::send_exposure_request(workers_[victim]->handle,
+                                        &attempts)) {
+        stats::count_signal_sent();
+        note_transition(health_.note_probe_ok(victim));
+        health_.arm_rtt(victim, now);
+      } else {
+        // Probe failed (already in signals_failed); the flag stays set —
+        // the user-space poll still answers this request.
+        health_.note_probe_failure(victim);
+      }
+      return;
+    }
+    stats::count_fallback_exposure();
+  }
+
+  // Degraded-mode victim side: the USLCWS poll (Listing 1 lines 12-16)
+  // grafted onto the signal family — requests routed user-space are
+  // answered here, at task granularity, instead of by the SIGUSR1 handler.
+  void answer_fallback_request(std::size_t self, deque_type& d) {
+    auto& flag = targeted_[self].get();
+    if (!flag.load(std::memory_order_relaxed)) return;
+    flag.store(false, std::memory_order_relaxed);
+    // A probe signal may still be in flight; its handler would run this
+    // same exposure reentrantly on this thread — harmless for the deque
+    // (same-value stores) but it would double-count exposure stats. Block
+    // it for the duration (cold path: degraded victims only).
+    detail::scoped_exposure_block guard;
+    const bool exposed = Policy::expose(d) > 0;
+    // The exposed task is stealable right now; hand it to a sleeper.
+    if (exposed && parking_ && lot_.sleepers() != 0) wake_one(self);
+  }
+
+  // Oversubscription-aware idle step (health enabled): sample preemption
+  // at the park boundary and periodically thereafter; under pressure burn
+  // the steal-attempt budget, then cede the CPU outright — a preempted
+  // victim cannot expose anything while we spin over it. Returns true when
+  // it yielded (the caller skips its backoff pause).
+  bool idle_pressure_step(std::size_t self, std::uint32_t failures,
+                          backoff& bo) {
+    if (failures == kParkAfterFailures || (failures & 1023u) == 0) {
+      health_.sample_preemption(self, monotonic_ns());
+    }
+    if (health_.pressure(self) &&
+        workers_[self]->throttle.note_attempt(monotonic_ns())) {
+      bo.escalate();
+      std::this_thread::yield();
+      return true;
+    }
+    return false;
+  }
+
+  // Degraded workers park earlier: under preemption pressure a quarter of
+  // the usual fruitless-round budget — the CPU is provably contended, so
+  // ceding it beats spinning for work that cannot appear any faster.
+  std::uint32_t park_threshold(std::size_t self) const {
+    if (health_.enabled() && health_.pressure(self)) {
+      return kParkAfterFailures >= 4 ? kParkAfterFailures / 4 : 1;
+    }
+    return kParkAfterFailures;
+  }
+
+  // LCWS_DUMP_ON_EXIT: post-mortem snapshot at destruction.
+  void emit_exit_dump() const noexcept {
+    try {
+      const std::string report = dump_worker_state();
+      if (dump_on_exit_ == "1" || dump_on_exit_ == "stderr") {
+        std::fputs(report.c_str(), stderr);
+      } else if (std::FILE* f = std::fopen(dump_on_exit_.c_str(), "a")) {
+        std::fputs(report.c_str(), f);
+        std::fclose(f);
+      }
+    } catch (...) {
+      // A post-mortem aid must never turn destruction into a crash.
+    }
   }
 
   job* steal_once(std::size_t self) {
@@ -542,7 +758,11 @@ class scheduler {
     auto& rng = workers_[self]->rng;
     std::size_t victim = rng.bounded(nworkers_ - 1);
     if (victim >= self) ++victim;  // uniform over the other workers
-    return try_steal(self, victim);
+    job* task = try_steal(self, victim);
+    // Steal-success EWMA feeds the §6 pressure signal (owner-only slot;
+    // one relaxed load+store, nothing when degradation is off).
+    if (health_.enabled()) health_.note_steal_outcome(self, task != nullptr);
+    return task;
   }
 
   found_task find_task(std::size_t self) {
@@ -650,7 +870,9 @@ class scheduler {
       } else {
         stats::count_idle_loop();
         ++failures;
-        if (parking_ && failures >= kParkAfterFailures) {
+        const bool yielded =
+            health_.enabled() && idle_pressure_step(self, failures, bo);
+        if (parking_ && failures >= park_threshold(self)) {
           if (found_task f = park_idle(self, &waited)) {
             run_task(self, f);
             bo.reset();
@@ -658,7 +880,7 @@ class scheduler {
           }
           // Fruitless episode: keep `failures` saturated — one probe per
           // wake, then straight back to a (longer) sleep.
-        } else {
+        } else if (!yielded) {
           bo.pause();
         }
       }
@@ -696,7 +918,9 @@ class scheduler {
       }
       stats::count_idle_loop();
       ++failures;
-      if (parking_ && failures >= kParkAfterFailures) {
+      const bool yielded =
+          health_.enabled() && idle_pressure_step(id, failures, bo);
+      if (parking_ && failures >= park_threshold(id)) {
         if (found_task f = park_idle(id, nullptr)) {
           run_task(id, f);
           bo.reset();
@@ -704,7 +928,7 @@ class scheduler {
         }
         continue;
       }
-      bo.pause();
+      if (!yielded) bo.pause();
     }
     unregister_worker();
   }
@@ -716,6 +940,8 @@ class scheduler {
   std::vector<std::thread> threads_;
   parking_lot lot_;
   const bool parking_;
+  health::monitor health_;  // §6 degradation layer (LCWS_DEGRADE_*)
+  const std::string dump_on_exit_;  // LCWS_DUMP_ON_EXIT; empty = off
   std::unique_ptr<watchdog> dog_;  // LCWS_WATCHDOG_MS; null when disabled
 
   std::atomic<std::size_t> ready_{0};

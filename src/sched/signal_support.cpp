@@ -73,28 +73,66 @@ void set_exposure_hook(exposure_hook hook, void* context) noexcept {
 
 void clear_exposure_hook() noexcept { tl_hook = hook_slot{}; }
 
-bool send_exposure_request(pthread_t target) noexcept {
-  // pthread_kill returns the error instead of setting errno, so this path
-  // stays errno-clean (it runs on thief threads, potentially between a
-  // user task's syscall and its errno check).
-  int rc = fi::inject(fi::site::signal_send)
-               ? EAGAIN
-               : pthread_kill(target, exposure_signal());
-  if (rc == 0) return true;
-  if (rc != ESRCH) {
-    // Transient failure (e.g. EAGAIN when the kernel's signal queue is
-    // full): back off briefly and retry once before giving up. ESRCH is
-    // permanent — the target thread is gone — so it skips the retry.
-    for (int i = 0; i < 256; ++i) cpu_relax();
-    rc = fi::inject(fi::site::signal_send)
-             ? EAGAIN
-             : pthread_kill(target, exposure_signal());
-    if (rc == 0) return true;
+namespace {
+
+// Total pthread_kill attempts per exposure request (LCWS_SIGNAL_RETRIES
+// counts the *re*tries on top of the first attempt). Resolved once.
+int send_attempt_budget() noexcept {
+  static const int budget = [] {
+    if (const char* s = std::getenv("LCWS_SIGNAL_RETRIES")) {
+      const long n = std::strtol(s, nullptr, 10);
+      if (n >= 0 && n <= 64) return static_cast<int>(n) + 1;
+    }
+    return 3;  // 1 attempt + 2 retries
+  }();
+  return budget;
+}
+
+}  // namespace
+
+bool send_exposure_request(pthread_t target, int* attempts_out) noexcept {
+  // pthread_kill returns the error instead of setting errno, so the send
+  // itself is errno-clean; the backoff below may yield(), whose syscall
+  // can clobber errno, so save/restore it — this path runs on thief
+  // threads, potentially between a user task's syscall and its errno
+  // check.
+  const int saved_errno = errno;
+  const int budget = send_attempt_budget();
+  backoff bo(/*spins_before_yield=*/4);
+  int attempts = 0;
+  for (;;) {
+    const int rc = fi::inject(fi::site::signal_send)
+                       ? EAGAIN
+                       : pthread_kill(target, exposure_signal());
+    ++attempts;
+    if (rc == 0) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      errno = saved_errno;
+      return true;
+    }
+    // ESRCH is permanent — the target thread is gone — so it skips the
+    // retries; transient failures (e.g. EAGAIN when the kernel's signal
+    // queue is full) back off exponentially until the budget is spent.
+    if (rc == ESRCH || attempts >= budget) break;
+    bo.pause();
   }
-  // Not silent: the caller observes `false` (and un-targets the victim so
-  // a later thief retries), and the profile records the delivery failure.
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  // Not silent: the caller observes `false` (and un-targets the victim or
+  // degrades it), and the profile records the delivery failure.
   stats::count_signal_failed();
+  errno = saved_errno;
   return false;
+}
+
+scoped_exposure_block::scoped_exposure_block() noexcept {
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, exposure_signal());
+  pthread_sigmask(SIG_BLOCK, &block, &old_mask_);
+}
+
+scoped_exposure_block::~scoped_exposure_block() noexcept {
+  pthread_sigmask(SIG_SETMASK, &old_mask_, nullptr);
 }
 
 unsigned long long handler_invocations() noexcept {

@@ -24,6 +24,9 @@ op_counters& op_counters::operator+=(const op_counters& other) noexcept {
   unexposures += other.unexposures;
   signals_sent += other.signals_sent;
   signals_failed += other.signals_failed;
+  degrade_events += other.degrade_events;
+  recover_events += other.recover_events;
+  fallback_exposures += other.fallback_exposures;
   tasks_executed += other.tasks_executed;
   idle_loops += other.idle_loops;
   parks += other.parks;
@@ -48,6 +51,9 @@ op_counters operator-(op_counters a, const op_counters& b) noexcept {
   a.unexposures -= b.unexposures;
   a.signals_sent -= b.signals_sent;
   a.signals_failed -= b.signals_failed;
+  a.degrade_events -= b.degrade_events;
+  a.recover_events -= b.recover_events;
+  a.fallback_exposures -= b.fallback_exposures;
   a.tasks_executed -= b.tasks_executed;
   a.idle_loops -= b.idle_loops;
   a.parks -= b.parks;
@@ -83,6 +89,9 @@ std::string format_profile(const profile& p) {
       << " unexposures=" << t.unexposures
       << " signals_sent=" << t.signals_sent
       << " signals_failed=" << t.signals_failed << "\n"
+      << "degrade_events=" << t.degrade_events
+      << " recover_events=" << t.recover_events
+      << " fallback_exposures=" << t.fallback_exposures << "\n"
       << "tasks_executed=" << t.tasks_executed
       << " idle_loops=" << t.idle_loops << "\n"
       << "parks=" << t.parks << " wakes=" << t.wakes

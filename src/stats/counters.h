@@ -82,7 +82,17 @@ struct op_counters {
                                    // (Lace-style schedulers only)
   relaxed_counter signals_sent;    // pthread_kill(SIGUSR1) system calls
   relaxed_counter signals_failed;  // exposure sends that failed delivery
-                                   // even after the one-retry backoff
+                                   // even after the retry-budget backoff
+  relaxed_counter degrade_events;  // health monitor trips: a victim's
+                                   // signal path switched to fallback
+  relaxed_counter recover_events;  // ... and sustained probes restored it
+  relaxed_counter fallback_exposures;  // exposure requests routed through
+                                       // the user-space flag (no signal
+                                       // attempted) while degraded; the
+                                       // signal-family balance becomes
+                                       // exposure_requests == signals_sent
+                                       //   + signals_failed
+                                       //   + fallback_exposures
   relaxed_counter tasks_executed;  // jobs actually run by this worker
   relaxed_counter idle_loops;      // scheduling-loop iterations w/o a task
   relaxed_counter parks;           // park episodes (worker blocked idle)
@@ -139,6 +149,9 @@ inline void count_exposure_request() noexcept {}
 inline void count_unexposure(std::uint64_t n = 1) noexcept { (void)n; }
 inline void count_signal_sent() noexcept {}
 inline void count_signal_failed() noexcept {}
+inline void count_degrade_event() noexcept {}
+inline void count_recover_event() noexcept {}
+inline void count_fallback_exposure() noexcept {}
 inline void count_task_executed() noexcept {}
 inline void count_idle_loop() noexcept {}
 inline void count_park() noexcept {}
@@ -174,6 +187,15 @@ inline void count_unexposure(std::uint64_t n = 1) noexcept {
 inline void count_signal_sent() noexcept { ++local_counters().signals_sent; }
 inline void count_signal_failed() noexcept {
   ++local_counters().signals_failed;
+}
+inline void count_degrade_event() noexcept {
+  ++local_counters().degrade_events;
+}
+inline void count_recover_event() noexcept {
+  ++local_counters().recover_events;
+}
+inline void count_fallback_exposure() noexcept {
+  ++local_counters().fallback_exposures;
 }
 inline void count_task_executed() noexcept {
   ++local_counters().tasks_executed;

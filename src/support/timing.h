@@ -29,6 +29,15 @@ class stopwatch {
   clock::time_point start_;
 };
 
+// Monotonic now() in nanoseconds, for code that timestamps events (health
+// monitoring, steal-budget windows) rather than measuring an interval.
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Times a callable, returning seconds.
 template <typename F>
 double time_seconds(F&& f) {

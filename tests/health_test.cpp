@@ -1,0 +1,256 @@
+// Unit tests for the graceful-degradation health monitor (DESIGN.md §6):
+// config parsing, the healthy->degraded->healthy state machine, RTT
+// evidence, the steal throttle and the backoff escalation hook.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "support/backoff.h"
+#include "support/health.h"
+
+namespace lcws::health {
+namespace {
+
+// setenv/unsetenv scope guard so knob tests cannot leak into each other.
+class scoped_env {
+ public:
+  scoped_env(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~scoped_env() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+config quick_cfg() {
+  config c;
+  c.enabled = true;
+  c.fail_streak = 3;
+  c.fail_permille = 500;
+  c.min_window = 4;
+  c.probe_period = 2;
+  c.recover_streak = 2;
+  c.rtt_deadline_ns = 1000;  // 1us: timeouts are trivial to synthesize
+  return c;
+}
+
+TEST(HealthConfig, DefaultsAreEnabledWithHysteresis) {
+  const config c = config::from_env();
+  EXPECT_TRUE(c.enabled);
+  EXPECT_GE(c.fail_streak, 1u);
+  EXPECT_GE(c.probe_period, 1u);
+  EXPECT_GE(c.recover_streak, 1u);
+  EXPECT_GT(c.rtt_deadline_ns, 0u);
+  EXPECT_GT(c.steal_budget, 0u);
+}
+
+TEST(HealthConfig, KillSwitchAndKnobsParse) {
+  scoped_env off("LCWS_DEGRADE_OFF", "1");
+  scoped_env streak("LCWS_DEGRADE_FAIL_STREAK", "7");
+  scoped_env probe("LCWS_DEGRADE_PROBE_PERIOD", "5");
+  scoped_env recover("LCWS_DEGRADE_RECOVER", "9");
+  scoped_env rtt("LCWS_DEGRADE_RTT_US", "250");
+  const config c = config::from_env();
+  EXPECT_FALSE(c.enabled);
+  EXPECT_EQ(c.fail_streak, 7u);
+  EXPECT_EQ(c.probe_period, 5u);
+  EXPECT_EQ(c.recover_streak, 9u);
+  EXPECT_EQ(c.rtt_deadline_ns, 250u * 1000);
+}
+
+TEST(HealthConfig, ZeroValuedKnobsAreClampedToOne) {
+  scoped_env streak("LCWS_DEGRADE_FAIL_STREAK", "0");
+  scoped_env probe("LCWS_DEGRADE_PROBE_PERIOD", "0");
+  scoped_env recover("LCWS_DEGRADE_RECOVER", "0");
+  const config c = config::from_env();
+  EXPECT_EQ(c.fail_streak, 1u);
+  EXPECT_EQ(c.probe_period, 1u);
+  EXPECT_EQ(c.recover_streak, 1u);
+}
+
+TEST(HealthMonitor, ConsecutiveSendFailuresTrip) {
+  monitor m(2, quick_cfg());
+  EXPECT_FALSE(m.is_degraded(1));
+  EXPECT_EQ(m.note_send_failure(1), transition::none);
+  EXPECT_EQ(m.note_send_failure(1), transition::none);
+  EXPECT_EQ(m.note_send_failure(1), transition::degraded);
+  EXPECT_TRUE(m.is_degraded(1));
+  EXPECT_FALSE(m.is_degraded(0));  // per-victim, not global
+  EXPECT_EQ(m.degrade_count(), 1u);
+  // Further failures while degraded report no new transition.
+  EXPECT_EQ(m.note_send_failure(1), transition::none);
+  EXPECT_EQ(m.degrade_count(), 1u);
+}
+
+TEST(HealthMonitor, SuccessResetsTheStreak) {
+  monitor m(1, quick_cfg());
+  m.note_send_failure(0);
+  m.note_send_failure(0);
+  m.note_send_ok(0);
+  EXPECT_EQ(m.note_send_failure(0), transition::none);
+  EXPECT_EQ(m.note_send_failure(0), transition::none);
+  EXPECT_EQ(m.note_send_failure(0), transition::degraded);
+}
+
+TEST(HealthMonitor, EwmaTripsWithoutAStreak) {
+  config c = quick_cfg();
+  c.fail_streak = 1000;  // streak can never trip
+  monitor m(1, c);
+  // Alternate ok/fail: the streak stays <= 1 but the EWMA climbs past 50%
+  // once the observation window fills.
+  transition t = transition::none;
+  for (int i = 0; i < 64 && t == transition::none; ++i) {
+    m.note_send_ok(0);
+    t = m.note_send_failure(0);
+  }
+  EXPECT_EQ(t, transition::degraded);
+}
+
+TEST(HealthMonitor, ProbeCadenceAndRecovery) {
+  monitor m(1, quick_cfg());  // probe_period=2, recover_streak=2
+  ASSERT_EQ(m.force_degraded(0, true), transition::degraded);
+  // Every probe_period-th request probes.
+  int probes = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (m.should_probe(0)) ++probes;
+  }
+  EXPECT_EQ(probes, 4);
+  // Sustained probe success restores; one success is not enough.
+  EXPECT_EQ(m.note_probe_ok(0), transition::none);
+  EXPECT_TRUE(m.is_degraded(0));
+  EXPECT_EQ(m.note_probe_ok(0), transition::recovered);
+  EXPECT_FALSE(m.is_degraded(0));
+  EXPECT_EQ(m.recover_count(), 1u);
+}
+
+TEST(HealthMonitor, ProbeFailureResetsRecoveryStreak) {
+  monitor m(1, quick_cfg());
+  m.force_degraded(0, true);
+  EXPECT_EQ(m.note_probe_ok(0), transition::none);
+  m.note_probe_failure(0);  // streak back to zero
+  EXPECT_EQ(m.note_probe_ok(0), transition::none);
+  EXPECT_EQ(m.note_probe_ok(0), transition::recovered);
+}
+
+TEST(HealthMonitor, RecoveryClearsEvidenceForTheNextPhase) {
+  monitor m(1, quick_cfg());
+  m.note_send_failure(0);
+  m.note_send_failure(0);
+  m.note_send_failure(0);
+  ASSERT_TRUE(m.is_degraded(0));
+  m.note_probe_ok(0);
+  m.note_probe_ok(0);
+  ASSERT_FALSE(m.is_degraded(0));
+  // The old failure history must not make the next trip cheaper.
+  EXPECT_EQ(m.note_send_failure(0), transition::none);
+  EXPECT_EQ(m.note_send_failure(0), transition::none);
+  EXPECT_EQ(m.note_send_failure(0), transition::degraded);
+}
+
+TEST(HealthMonitor, RttSuccessFeedsLatencyEwmaNotFailure) {
+  monitor m(1, quick_cfg());
+  m.arm_rtt(0, /*now_ns=*/1000);
+  m.note_handler_ran(0);  // the victim's handler answered
+  EXPECT_EQ(m.poll_rtt(0, /*now_ns=*/5000), transition::none);
+  EXPECT_EQ(m.rtt_ewma_ns(0), 4000u);
+  EXPECT_FALSE(m.is_degraded(0));
+  // Resolved: a second poll is a no-op.
+  EXPECT_EQ(m.poll_rtt(0, 9000), transition::none);
+  EXPECT_EQ(m.rtt_ewma_ns(0), 4000u);
+}
+
+// Regression: a sample *below* the running EWMA must decay it, not wrap
+// the unsigned difference and catapult the average toward 2^64.
+TEST(HealthMonitor, RttEwmaDecaysOnFasterSamples) {
+  monitor m(1, quick_cfg());
+  m.arm_rtt(0, /*now_ns=*/1000);
+  m.note_handler_ran(0);
+  EXPECT_EQ(m.poll_rtt(0, /*now_ns=*/9000), transition::none);
+  EXPECT_EQ(m.rtt_ewma_ns(0), 8000u);
+  m.arm_rtt(0, /*now_ns=*/10000);
+  m.note_handler_ran(0);
+  // 800ns sample against an 8000ns EWMA: 8000 + (800 - 8000) / 8 = 7100.
+  EXPECT_EQ(m.poll_rtt(0, /*now_ns=*/10800), transition::none);
+  EXPECT_EQ(m.rtt_ewma_ns(0), 7100u);
+}
+
+TEST(HealthMonitor, RttTimeoutsTripOnlyViaSustainedEwma) {
+  config c = quick_cfg();
+  c.fail_streak = 1000;
+  monitor m(1, c);
+  transition t = transition::none;
+  for (int i = 0; i < 64 && t == transition::none; ++i) {
+    m.arm_rtt(0, 1000);
+    t = m.poll_rtt(0, 1000 + c.rtt_deadline_ns + 1);  // past the deadline
+  }
+  EXPECT_EQ(t, transition::degraded);
+  EXPECT_GE(m.degrade_count(), 1u);
+}
+
+TEST(HealthMonitor, ArmRttIsOneInFlightPerVictim) {
+  monitor m(1, quick_cfg());
+  m.arm_rtt(0, 1000);
+  m.arm_rtt(0, 2000);  // no-op: first measurement still pending
+  m.note_handler_ran(0);
+  EXPECT_EQ(m.poll_rtt(0, 3000), transition::none);
+  EXPECT_EQ(m.rtt_ewma_ns(0), 2000u);  // measured from 1000, not 2000
+}
+
+TEST(HealthMonitor, StealEwmaConvergesTowardOutcomes) {
+  monitor m(1, quick_cfg());
+  for (int i = 0; i < 64; ++i) m.note_steal_outcome(0, true);
+  // All-success drives the EWMA near 1000 permille.
+  EXPECT_FALSE(m.pressure(0));  // pressure needs a preemption sample too
+  const std::string dump = m.debug_string(0);
+  EXPECT_NE(dump.find("steal_ewma_pm="), std::string::npos);
+  EXPECT_NE(dump.find("degraded=0"), std::string::npos);
+}
+
+TEST(HealthMonitor, SamplePreemptionIsSafeAndRateLimited) {
+  monitor m(1, quick_cfg());
+  // Two immediate samples: the second is inside the sample period and
+  // must be a no-op; neither may crash or set pressure on an idle thread.
+  m.sample_preemption(0, 1);
+  m.sample_preemption(0, 2);
+  EXPECT_FALSE(m.pressure(0));
+}
+
+TEST(StealThrottle, BudgetExhaustsWithinWindowAndResets) {
+  steal_throttle t(/*budget=*/3, /*window_ns=*/1000);
+  EXPECT_FALSE(t.note_attempt(100));
+  EXPECT_FALSE(t.note_attempt(200));
+  EXPECT_FALSE(t.note_attempt(300));
+  EXPECT_TRUE(t.note_attempt(400));   // 4th failed attempt: yield
+  EXPECT_TRUE(t.note_attempt(500));
+  EXPECT_FALSE(t.note_attempt(1200));  // new window
+  t.reset(1300);
+  EXPECT_EQ(t.attempts_in_window(), 0u);
+}
+
+TEST(Backoff, EscalateJumpsStraightToYield) {
+  backoff bo(/*spins_before_yield=*/10);
+  EXPECT_EQ(bo.step(), 0u);
+  bo.escalate();
+  EXPECT_EQ(bo.step(), 10u);
+  bo.pause();  // yields; must not advance past the threshold
+  EXPECT_EQ(bo.step(), 10u);
+  bo.reset();
+  EXPECT_EQ(bo.step(), 0u);
+}
+
+}  // namespace
+}  // namespace lcws::health
