@@ -14,7 +14,8 @@
 //   LCWS_BENCH_CSV     file path: append one CSV row per measured cell
 //                      (benchmark,instance,procs,scheduler,seconds,fences,
 //                      cas,steals,steal_attempts,exposures,unexposures,
-//                      signals,parks,wakes,idle_ns) for offline plotting
+//                      signals,parks,wakes,idle_ns,steals_near,
+//                      steals_remote) for offline plotting
 //   LCWS_BENCH_JSON    file path: append one JSON object per measured cell
 //                      (JSON Lines; same fields as the CSV, named) for
 //                      offline plotting without a CSV header convention
@@ -139,7 +140,9 @@ inline void maybe_write_csv(const std::vector<cell>& cells) {
   for (const auto& c : cells) {
     const auto& t = c.result.profile.totals;
     std::fprintf(
-        f, "%s,%s,%zu,%s,%.9f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        f,
+        "%s,%s,%zu,%s,%.9f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu\n",
         c.cfg.benchmark.c_str(), c.cfg.instance.c_str(), c.procs,
         to_string(c.kind), c.result.seconds,
         static_cast<unsigned long long>(t.fences),
@@ -151,7 +154,9 @@ inline void maybe_write_csv(const std::vector<cell>& cells) {
         static_cast<unsigned long long>(t.signals_sent),
         static_cast<unsigned long long>(t.parks),
         static_cast<unsigned long long>(t.wakes),
-        static_cast<unsigned long long>(t.idle_ns));
+        static_cast<unsigned long long>(t.idle_ns),
+        static_cast<unsigned long long>(t.steals_near),
+        static_cast<unsigned long long>(t.steals_remote));
   }
   std::fclose(f);
 }
@@ -176,7 +181,8 @@ inline void maybe_write_json(const std::vector<cell>& cells) {
         "\"scheduler\":\"%s\",\"seconds\":%.9f,\"fences\":%llu,"
         "\"cas\":%llu,\"steals\":%llu,\"steal_attempts\":%llu,"
         "\"exposures\":%llu,\"unexposures\":%llu,\"signals\":%llu,"
-        "\"parks\":%llu,\"wakes\":%llu,\"idle_ns\":%llu}\n",
+        "\"parks\":%llu,\"wakes\":%llu,\"idle_ns\":%llu,"
+        "\"steals_near\":%llu,\"steals_remote\":%llu}\n",
         c.cfg.benchmark.c_str(), c.cfg.instance.c_str(), c.procs,
         to_string(c.kind), c.result.seconds,
         static_cast<unsigned long long>(t.fences),
@@ -188,7 +194,9 @@ inline void maybe_write_json(const std::vector<cell>& cells) {
         static_cast<unsigned long long>(t.signals_sent),
         static_cast<unsigned long long>(t.parks),
         static_cast<unsigned long long>(t.wakes),
-        static_cast<unsigned long long>(t.idle_ns));
+        static_cast<unsigned long long>(t.idle_ns),
+        static_cast<unsigned long long>(t.steals_near),
+        static_cast<unsigned long long>(t.steals_remote));
   }
   std::fclose(f);
 }

@@ -26,6 +26,12 @@ for preset in default tsan; do
   ctest --preset "${preset}" -j "${jobs}" "${label_filter[@]}" "$@"
 done
 
+# Perf gate: release microbenches (micro_idle, locality) against the
+# committed BENCH_*.json baselines. Structural invariants are strict;
+# timing gates carry a generous noise margin and skip on tiny hosts.
+echo "== perf gate (release benches vs committed baselines) =="
+python3 scripts/perf_gate.py --build-dir build
+
 echo "== preset: asan (hardening suites) =="
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"

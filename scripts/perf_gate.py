@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Performance gate: run the committed microbenches and compare against the
+checked-in baselines (BENCH_idle.json, BENCH_locality.json).
+
+Two kinds of checks, in decreasing order of trust:
+
+  structural   invariants that hold on any host and any load: parking off
+               => zero parks/wakes; locality off => zero near/remote steal
+               counts; locality on => steals == steals_near + steals_remote
+               (every successful steal classified exactly once). A
+               violation is a logic regression, never noise.
+
+  ratio        timing comparisons with a generous noise margin. Within one
+               run: locality-on must not be grossly slower than
+               locality-off for the same kernel/scheduler. Against the
+               committed baseline: no cell may be more than --ratio times
+               slower than the recorded number (baselines come from a
+               different machine, so this only catches order-of-magnitude
+               regressions — the margin is deliberately loose).
+
+The near-steal-fraction check is skipped on hosts with fewer than two
+usable CPUs (a 1-CPU container has a single flat tier: "near" and "remote"
+merge and the fraction carries no signal).
+
+Usage: scripts/perf_gate.py [--build-dir build] [--baseline-dir .]
+                            [--ratio 5.0] [--skip PATTERN]
+Exit status: 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def note(msg):
+    print(f"  ok: {msg}")
+
+
+def skip(msg):
+    print(f"skip: {msg}")
+
+
+def load_json_lines(path):
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+    except FileNotFoundError:
+        return []
+    return rows
+
+
+def run_bench(exe, env_extra):
+    """Runs one bench binary with LCWS_BENCH_JSON into a temp file and
+    returns the parsed rows."""
+    if not os.path.exists(exe):
+        fail(f"bench binary missing: {exe} (build the 'all' target first)")
+        return []
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", prefix="lcws_gate_", delete=False
+    ) as tmp:
+        json_path = tmp.name
+    env = dict(os.environ)
+    env["LCWS_BENCH_JSON"] = json_path
+    env.setdefault("LCWS_BENCH_ROUNDS", "3")
+    env.update(env_extra)
+    print(f"running {os.path.basename(exe)} ...")
+    try:
+        subprocess.run(
+            [exe], env=env, check=True, stdout=subprocess.DEVNULL, timeout=1200
+        )
+    except (subprocess.CalledProcessError, subprocess.TimeoutExpired) as e:
+        fail(f"{exe}: {e}")
+        return []
+    rows = load_json_lines(json_path)
+    os.unlink(json_path)
+    if not rows:
+        fail(f"{exe}: produced no LCWS_BENCH_JSON rows")
+    return rows
+
+
+def key_idle(row):
+    return (row.get("scheduler"), row.get("parking"))
+
+
+def key_locality(row):
+    return (row.get("benchmark"), row.get("scheduler"), row.get("locality"))
+
+
+def index(rows, keyfn):
+    return {keyfn(r): r for r in rows}
+
+
+def usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+# ---- gates -----------------------------------------------------------------
+
+
+def gate_idle_structural(rows):
+    for r in rows:
+        who = f"micro_idle {r['scheduler']} parking={r['parking']}"
+        if r["parking"] == "off":
+            if r.get("parks", 0) != 0 or r.get("wakes", 0) != 0:
+                fail(f"{who}: parking disabled but parks/wakes nonzero")
+        elif r.get("parks", 0) == 0:
+            # Every scheduler parks during the 200ms idle phase.
+            fail(f"{who}: parking enabled but no parks recorded")
+    note(f"micro_idle structural invariants over {len(rows)} cells")
+
+
+def gate_locality_structural(rows):
+    for r in rows:
+        who = f"{r['benchmark']} {r['scheduler']} locality={r['locality']}"
+        near = r.get("steals_near", 0)
+        remote = r.get("steals_remote", 0)
+        steals = r.get("steals", 0)
+        if r["locality"] == "off":
+            if near != 0 or remote != 0:
+                fail(f"{who}: locality off but near/remote steals nonzero")
+        elif near + remote != steals:
+            fail(
+                f"{who}: steal classification leak: "
+                f"steals={steals} != near={near} + remote={remote}"
+            )
+    note(f"locality structural invariants over {len(rows)} cells")
+
+
+def gate_locality_slowdown(rows, margin):
+    """Locality-on must not be grossly slower than locality-off measured in
+    the same process on the same host. Skipped on 1-CPU hosts, where eight
+    workers time-share one core and wall time is scheduler luck."""
+    if usable_cpus() < 2:
+        skip("locality slowdown gate: <2 usable CPUs, timing is luck")
+        return
+    by_key = index(rows, key_locality)
+    checked = 0
+    for (bench, sched, loc), row in by_key.items():
+        if loc != "on":
+            continue
+        base = by_key.get((bench, sched, "off"))
+        if base is None or base["seconds"] <= 0:
+            continue
+        checked += 1
+        limit = base["seconds"] * (1.0 + margin) + 0.002
+        if row["seconds"] > limit:
+            fail(
+                f"{bench} {sched}: locality on is {row['seconds']:.4f}s vs "
+                f"off {base['seconds']:.4f}s (limit {limit:.4f}s)"
+            )
+    note(f"locality on-vs-off slowdown over {checked} pairs")
+
+
+def gate_near_fraction(rows):
+    """On a host with real topology, locality-on steals should land near
+    more often than never. Aggregated across cells so sparse steal counts
+    don't flake; skipped entirely on flat/1-CPU hosts."""
+    if usable_cpus() < 2:
+        skip("near-fraction gate: <2 usable CPUs, topology is flat")
+        return
+    total = sum(r.get("steals", 0) for r in rows if r["locality"] == "on")
+    near = sum(r.get("steals_near", 0) for r in rows if r["locality"] == "on")
+    if total < 50:
+        skip(f"near-fraction gate: only {total} steals observed (<50)")
+        return
+    frac = near / total
+    if frac <= 0.0:
+        fail(f"near fraction {frac:.3f} over {total} steals: locality-aware "
+             f"selection never landed a near steal")
+    else:
+        note(f"near fraction {frac:.3f} over {total} steals")
+
+
+def gate_vs_baseline(current, baseline, keyfn, ratio, label):
+    """Order-of-magnitude regression check against the committed numbers.
+    Baselines were recorded on a different machine: only a blown ratio
+    (default 5x) plus an absolute floor counts as a failure."""
+    if not baseline:
+        skip(f"{label}: no committed baseline rows")
+        return
+    cur = index(current, keyfn)
+    missing = 0
+    checked = 0
+    for key, base_row in index(baseline, keyfn).items():
+        row = cur.get(key)
+        if row is None:
+            missing += 1
+            continue
+        for field in ("seconds", "idle_cpu_s", "burst_median_s"):
+            base_v = base_row.get(field)
+            cur_v = row.get(field)
+            if base_v is None or cur_v is None or base_v <= 0:
+                continue
+            checked += 1
+            limit = base_v * ratio + 0.01
+            if cur_v > limit:
+                fail(
+                    f"{label} {key} {field}: {cur_v:.4f} vs baseline "
+                    f"{base_v:.4f} (limit {limit:.4f}, ratio {ratio}x)"
+                )
+    if missing:
+        fail(f"{label}: {missing} baseline cells missing from current run "
+             f"(bench matrix shrank)")
+    note(f"{label}: {checked} metrics within {ratio}x of baseline")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory holding BENCH_idle.json / "
+                         "BENCH_locality.json")
+    ap.add_argument("--ratio", type=float,
+                    default=float(os.environ.get("LCWS_PERF_GATE_RATIO", 5.0)),
+                    help="max slowdown vs committed baseline")
+    ap.add_argument("--margin", type=float, default=1.0,
+                    help="allowed locality-on vs -off slowdown fraction")
+    args = ap.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    idle_rows = run_bench(os.path.join(bench_dir, "micro_idle"), {})
+    locality_rows = run_bench(os.path.join(bench_dir, "locality"), {})
+
+    if idle_rows:
+        gate_idle_structural(idle_rows)
+        gate_vs_baseline(
+            idle_rows,
+            load_json_lines(os.path.join(args.baseline_dir, "BENCH_idle.json")),
+            key_idle, args.ratio, "BENCH_idle")
+    if locality_rows:
+        gate_locality_structural(locality_rows)
+        gate_locality_slowdown(locality_rows, args.margin)
+        gate_near_fraction(locality_rows)
+        gate_vs_baseline(
+            locality_rows,
+            load_json_lines(
+                os.path.join(args.baseline_dir, "BENCH_locality.json")),
+            key_locality, args.ratio, "BENCH_locality")
+
+    if FAILURES:
+        print(f"\nperf gate: {len(FAILURES)} failure(s)")
+        return 1
+    print("\nperf gate: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

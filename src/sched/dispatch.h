@@ -10,49 +10,56 @@
 
 #include "sched/policies.h"
 #include "sched/scheduler.h"
+#include "sched/victim_select.h"
 #include "support/parking_lot.h"
 
 namespace lcws {
 
 // Constructs a scheduler of the requested kind with `num_workers` workers
 // and invokes visitor(sched). The scheduler is torn down before returning.
-// `parking` forwards the elastic-idling knob (default: LCWS_NO_PARKING env).
-// Usage:
+// `parking` forwards the elastic-idling knob (default: LCWS_NO_PARKING
+// env); `locality` the victim-selection one (default: LCWS_LOCALITY_OFF
+// env). Usage:
 //   with_scheduler(kind, p, [&](auto& sched) { ... });
 template <typename Visitor>
 decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
-                              parking_mode parking, Visitor&& visitor) {
+                              parking_mode parking, locality_mode locality,
+                              Visitor&& visitor) {
   switch (kind) {
     case sched_kind::ws: {
-      ws_scheduler sched(num_workers, default_deque_capacity, parking);
+      ws_scheduler sched(num_workers, default_deque_capacity, parking,
+                         locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::uslcws: {
-      uslcws_scheduler sched(num_workers, default_deque_capacity, parking);
+      uslcws_scheduler sched(num_workers, default_deque_capacity, parking,
+                             locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::signal: {
-      signal_scheduler sched(num_workers, default_deque_capacity, parking);
+      signal_scheduler sched(num_workers, default_deque_capacity, parking,
+                             locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::conservative: {
       conservative_scheduler sched(num_workers, default_deque_capacity,
-                                   parking);
+                                   parking, locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::expose_half: {
       expose_half_scheduler sched(num_workers, default_deque_capacity,
-                                  parking);
+                                  parking, locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::private_deques: {
       private_deques_scheduler sched(num_workers, default_deque_capacity,
-                                     parking);
+                                     parking, locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::lace:
     default: {
-      lace_scheduler sched(num_workers, default_deque_capacity, parking);
+      lace_scheduler sched(num_workers, default_deque_capacity, parking,
+                           locality);
       return std::forward<Visitor>(visitor)(sched);
     }
   }
@@ -60,8 +67,17 @@ decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
 
 template <typename Visitor>
 decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
+                              parking_mode parking, Visitor&& visitor) {
+  return with_scheduler(kind, num_workers, parking,
+                        locality_mode::env_default,
+                        std::forward<Visitor>(visitor));
+}
+
+template <typename Visitor>
+decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
                               Visitor&& visitor) {
   return with_scheduler(kind, num_workers, parking_mode::env_default,
+                        locality_mode::env_default,
                         std::forward<Visitor>(visitor));
 }
 

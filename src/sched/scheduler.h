@@ -69,6 +69,23 @@
 //     bit-for-bit the legacy protocol (no new fences, CAS, or atomics).
 //   * LCWS_DUMP_ON_EXIT emits dump_worker_state() at destruction ("1" or
 //     "stderr" to stderr, anything else appends to that file path).
+//
+// Locality-aware victim selection (DESIGN.md §7, sched/victim_select.h):
+//   * Workers are pinned to CPUs (LCWS_PIN=compact|scatter|off) and each
+//     carries a distance-ordered victim table built at construction from
+//     the sysfs topology (support/topology.h). steal_once picks a tier
+//     with geometric bias toward near victims, then a victim within the
+//     tier by power-of-two-choices on the health monitor's per-victim
+//     steal-success EWMA; every LCWS_EXPLORE_PERIOD-th pick is uniform so
+//     remote victims (and the §6 probe cadence) are never starved.
+//   * Successful steals are classified near/remote + per tier
+//     (stats/counters.h): steals == steals_near + steals_remote while the
+//     layer is on.
+//   * LCWS_LOCALITY_OFF=1 (or the constructor knob) removes the layer:
+//     no pinning, and victim choice is the legacy uniform rng draw
+//     bit-for-bit.
+//   * LCWS_SEED=<n> reseeds the per-worker xoshiro streams (reproducible
+//     victim-selection experiments); unset keeps the historical seeds.
 #pragma once
 
 #include <pthread.h>
@@ -83,6 +100,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -93,6 +111,7 @@
 #include "deque/job.h"
 #include "sched/policies.h"
 #include "sched/signal_support.h"
+#include "sched/victim_select.h"
 #include "stats/counters.h"
 #include "support/align.h"
 #include "support/backoff.h"
@@ -116,15 +135,20 @@ class scheduler {
   // deque_capacity bounds each worker's deque (see split_deque.h for the
   // capacity contract); the default is ample for fork-join computations.
   // `parking` is the elastic-idling kill-switch (default: on unless
-  // LCWS_NO_PARKING is set in the environment).
+  // LCWS_NO_PARKING is set in the environment); `locality` the victim-
+  // selection one (default: on unless LCWS_LOCALITY_OFF is set).
   explicit scheduler(std::size_t num_workers,
                      std::size_t deque_capacity = default_deque_capacity,
-                     parking_mode parking = parking_mode::env_default)
+                     parking_mode parking = parking_mode::env_default,
+                     locality_mode locality = locality_mode::env_default)
       : nworkers_(num_workers == 0 ? 1 : num_workers),
         targeted_(nworkers_),
         counters_(nworkers_),
         lot_(nworkers_),
         parking_(parking_enabled(parking) && nworkers_ > 1),
+        loc_cfg_(locality_config::from_env()),
+        locality_(locality_enabled(locality, loc_cfg_) && nworkers_ > 1),
+        seed_(env_seed()),
         health_(nworkers_, health::config::from_env()),
         dump_on_exit_([] {
           const char* s = std::getenv("LCWS_DUMP_ON_EXIT");
@@ -133,8 +157,33 @@ class scheduler {
         owner_(std::this_thread::get_id()) {
     workers_.reserve(nworkers_);
     for (std::size_t i = 0; i < nworkers_; ++i) {
-      workers_.push_back(
-          std::make_unique<worker_state>(this, i, deque_capacity));
+      workers_.push_back(std::make_unique<worker_state>(
+          this, i, deque_capacity, worker_rng_seed(seed_, i)));
+    }
+    // Locality layer: probe the hierarchy, settle the worker->CPU plan and
+    // precompute each worker's distance-ordered victim table — all before
+    // any thread runs, so the steal hot path never builds or allocates.
+    cpu_of_worker_.assign(nworkers_, -1);
+    if (locality_) {
+      topo_ = probe_topology();
+      const std::vector<int> order = pin_order(topo_, loc_cfg_.pin);
+      if (!order.empty()) {
+        for (std::size_t i = 0; i < nworkers_; ++i) {
+          cpu_of_worker_[i] = order[i % order.size()];
+        }
+      }
+      for (std::size_t i = 0; i < nworkers_; ++i) {
+        workers_[i]->victims.build(
+            build_victim_table(topo_, cpu_of_worker_, i),
+            loc_cfg_.explore_period);
+      }
+      // Pin worker 0 (the constructing thread) here; spawned workers pin
+      // themselves on entry. The caller's thread outlives the pool, so its
+      // original mask is saved and restored at destruction.
+      if (cpu_of_worker_[0] >= 0) {
+        saved_affinity_ = save_this_thread_affinity();
+        pin_this_thread(static_cast<std::size_t>(cpu_of_worker_[0]));
+      }
     }
     if constexpr (family == sched_family::signal) {
       detail::install_exposure_handler();
@@ -174,6 +223,8 @@ class scheduler {
     // pool's final quiescent snapshot.
     if (!dump_on_exit_.empty()) emit_exit_dump();
     unregister_worker();
+    // Un-pin the constructing thread: it outlives this pool.
+    restore_this_thread_affinity(saved_affinity_);
   }
 
   std::size_t num_workers() const noexcept { return nworkers_; }
@@ -296,15 +347,20 @@ class scheduler {
     out << "scheduler=" << Policy::name << " workers=" << nworkers_
         << " active=" << active_.load(std::memory_order_relaxed)
         << " shutdown=" << shutdown_.load(std::memory_order_relaxed)
-        << " parking=" << parking_ << "\n";
+        << " parking=" << parking_ << " locality=" << locality_ << "\n";
     for (std::size_t i = 0; i < nworkers_; ++i) {
       const auto& c = counters_[i].get();
       out << "  w" << i << ": deque{" << workers_[i]->deque.debug_string()
           << "} targeted=" << targeted_[i]->load(std::memory_order_relaxed)
           << " announced=" << lot_.is_announced(i)
           << " tasks=" << c.tasks_executed.get()
-          << " steals=" << c.steals.get() << "/" << c.steal_attempts.get()
-          << " exposures=" << c.exposures.get()
+          << " steals=" << c.steals.get() << "/" << c.steal_attempts.get();
+      if (locality_) {
+        out << " cpu=" << cpu_of_worker_[i]
+            << " near/remote=" << c.steals_near.get() << "/"
+            << c.steals_remote.get();
+      }
+      out << " exposures=" << c.exposures.get()
           << " idle_loops=" << c.idle_loops.get()
           << " parks=" << c.parks.get();
       if (health_.enabled()) {
@@ -317,6 +373,21 @@ class scheduler {
 
   // Whether the §6 degradation layer is active (LCWS_DEGRADE_OFF unset).
   bool degradation_active() const noexcept { return health_.enabled(); }
+
+  // Whether §7 locality-aware victim selection is in effect for this pool.
+  bool locality_active() const noexcept { return locality_; }
+
+  // The CPU worker `worker` was pinned to (-1: unpinned / locality off).
+  int pinned_cpu_of(std::size_t worker) const noexcept {
+    return cpu_of_worker_[worker];
+  }
+
+  // Distance tier of `victim` as seen from `self` (test/diagnostic; only
+  // meaningful while locality is active).
+  locality_tier tier_between(std::size_t self,
+                             std::size_t victim) const noexcept {
+    return workers_[self]->victims.tier_of(victim);
+  }
 
   // Relaxed snapshot of one victim's signal-path state (test/diagnostic).
   bool is_degraded(std::size_t worker) const noexcept {
@@ -354,11 +425,12 @@ class scheduler {
   static constexpr std::uint32_t kParkMaxUs = 20000;
 
   struct worker_state {
-    worker_state(scheduler* p, std::size_t i, std::size_t deque_capacity)
+    worker_state(scheduler* p, std::size_t i, std::size_t deque_capacity,
+                 std::uint64_t rng_seed)
         : pool(p),
           id(i),
           deque(deque_capacity),
-          rng(hash64(0x5eed5eedULL + i)),
+          rng(rng_seed),
           throttle(p->health_.cfg().steal_budget,
                    p->health_.cfg().budget_window_ns) {}
     scheduler* const pool;     // back-pointer for the exposure trampoline
@@ -368,6 +440,7 @@ class scheduler {
     pthread_t handle{};        // published before ready_ increments
     steal_box<job> mail;       // mailbox family: this worker's answer box
     health::steal_throttle throttle;  // §6 steal budget; owner-only
+    victim_selector victims;   // §7 distance-ordered table; owner-only
     std::uint32_t park_timeout_us = kParkMinUs;  // adaptive; owner-only
   };
 
@@ -753,12 +826,45 @@ class scheduler {
     }
   }
 
+  // One steal attempt against `victim` with §7 locality accounting: the
+  // outcome feeds the per-victim success EWMA that the next pick weighs,
+  // and successful steals are classified by the victim's distance tier.
+  // With the layer off this is exactly try_steal.
+  job* steal_from(std::size_t self, std::size_t victim) {
+    job* task = try_steal(self, victim);
+    if (locality_) {
+      health_.note_victim_steal(victim, task != nullptr);
+      if (task != nullptr) {
+        const locality_tier tier = workers_[self]->victims.tier_of(victim);
+        stats::count_locality_steal(static_cast<std::size_t>(tier),
+                                    tier < kNearestRemoteTier);
+      }
+    }
+    return task;
+  }
+
   job* steal_once(std::size_t self) {
     if (nworkers_ == 1) return nullptr;
-    auto& rng = workers_[self]->rng;
-    std::size_t victim = rng.bounded(nworkers_ - 1);
-    if (victim >= self) ++victim;  // uniform over the other workers
-    job* task = try_steal(self, victim);
+    auto& ws = *workers_[self];
+    std::size_t victim;
+    if (locality_) {
+      // Two-level pick: near-biased tier, then success-weighted victim
+      // (victim_select.h). Allocation- and fence-free; the weight functor
+      // is one relaxed load per candidate.
+      bool explored = false;
+      victim = ws.victims.pick(
+          ws.rng,
+          [this](std::size_t v) {
+            return health_.victim_steal_ewma_permille(v);
+          },
+          &explored);
+      if (explored) stats::count_locality_explore();
+    } else {
+      // Legacy uniform choice (LCWS_LOCALITY_OFF), bit-for-bit.
+      victim = ws.rng.bounded(nworkers_ - 1);
+      if (victim >= self) ++victim;  // uniform over the other workers
+    }
+    job* task = steal_from(self, victim);
     // Steal-success EWMA feeds the §6 pressure signal (owner-only slot;
     // one relaxed load+store, nothing when degradation is off).
     if (health_.enabled()) health_.note_steal_outcome(self, task != nullptr);
@@ -799,9 +905,17 @@ class scheduler {
   found_task park_sweep(std::size_t self) {
     if (job* task = get_local(self)) return {task, false};
     if constexpr (family != sched_family::mailbox) {
-      for (std::size_t v = 0; v < nworkers_; ++v) {
-        if (v == self) continue;
-        if (job* task = try_steal(self, v)) return {task, true};
+      if (locality_) {
+        // Nearest-first: the last look before sleeping probes warm caches
+        // before cold ones. Covers every other worker exactly once.
+        for (const std::uint32_t v : workers_[self]->victims.order()) {
+          if (job* task = steal_from(self, v)) return {task, true};
+        }
+      } else {
+        for (std::size_t v = 0; v < nworkers_; ++v) {
+          if (v == self) continue;
+          if (job* task = steal_from(self, v)) return {task, true};
+        }
       }
     }
     return {};
@@ -895,6 +1009,12 @@ class scheduler {
   void worker_loop(std::size_t id) {
     register_worker(id);
     name_this_thread("lcws-w" + std::to_string(id));
+    // Best-effort pinning (§7): a failure — restricted container mask,
+    // offline CPU — leaves the worker floating; the victim table built
+    // from the *intended* placement stays a usable heuristic.
+    if (locality_ && cpu_of_worker_[id] >= 0) {
+      pin_this_thread(static_cast<std::size_t>(cpu_of_worker_[id]));
+    }
     ready_.fetch_add(1, std::memory_order_release);
     backoff bo;
     std::uint32_t failures = 0;
@@ -940,6 +1060,12 @@ class scheduler {
   std::vector<std::thread> threads_;
   parking_lot lot_;
   const bool parking_;
+  const locality_config loc_cfg_;    // §7 knobs (LCWS_PIN, LCWS_EXPLORE_*)
+  const bool locality_;              // §7 master switch (LCWS_LOCALITY_OFF)
+  const std::optional<std::uint64_t> seed_;  // LCWS_SEED; nullopt = legacy
+  cpu_topology topo_;                // probed once when locality_ is on
+  std::vector<int> cpu_of_worker_;   // -1 = unpinned
+  saved_affinity saved_affinity_;    // worker 0's pre-pin mask
   health::monitor health_;  // §6 degradation layer (LCWS_DEGRADE_*)
   const std::string dump_on_exit_;  // LCWS_DUMP_ON_EXIT; empty = off
   std::unique_ptr<watchdog> dog_;  // LCWS_WATCHDOG_MS; null when disabled

@@ -18,6 +18,12 @@ op_counters& op_counters::operator+=(const op_counters& other) noexcept {
   steal_attempts += other.steal_attempts;
   steals += other.steals;
   steal_aborts += other.steal_aborts;
+  steals_near += other.steals_near;
+  steals_remote += other.steals_remote;
+  for (std::size_t t = 0; t < kStealTierCount; ++t) {
+    steals_by_tier[t] += other.steals_by_tier[t];
+  }
+  locality_explores += other.locality_explores;
   private_work_seen += other.private_work_seen;
   exposures += other.exposures;
   exposure_requests += other.exposure_requests;
@@ -45,6 +51,12 @@ op_counters operator-(op_counters a, const op_counters& b) noexcept {
   a.steal_attempts -= b.steal_attempts;
   a.steals -= b.steals;
   a.steal_aborts -= b.steal_aborts;
+  a.steals_near -= b.steals_near;
+  a.steals_remote -= b.steals_remote;
+  for (std::size_t t = 0; t < kStealTierCount; ++t) {
+    a.steals_by_tier[t] -= b.steals_by_tier[t];
+  }
+  a.locality_explores -= b.locality_explores;
   a.private_work_seen -= b.private_work_seen;
   a.exposures -= b.exposures;
   a.exposure_requests -= b.exposure_requests;
@@ -84,6 +96,12 @@ std::string format_profile(const profile& p) {
       << "steal_attempts=" << t.steal_attempts << " steals=" << t.steals
       << " aborts=" << t.steal_aborts
       << " private_work_seen=" << t.private_work_seen << "\n"
+      << "steals_near=" << t.steals_near
+      << " steals_remote=" << t.steals_remote << " by_tier=["
+      << t.steals_by_tier[0] << " " << t.steals_by_tier[1] << " "
+      << t.steals_by_tier[2] << " " << t.steals_by_tier[3] << " "
+      << t.steals_by_tier[4] << "] explores=" << t.locality_explores
+      << " near_fraction=" << p.near_steal_fraction() << "\n"
       << "exposures=" << t.exposures
       << " exposure_requests=" << t.exposure_requests
       << " unexposures=" << t.unexposures

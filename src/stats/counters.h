@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,6 +20,11 @@
 #include "support/align.h"
 
 namespace lcws::stats {
+
+// Number of steal-locality tiers; mirrors lcws::kNumLocalityTiers
+// (support/topology.h) without making the counter block depend on the
+// topology header.
+inline constexpr std::size_t kStealTierCount = 5;
 
 // A single-writer event counter. Only the owning thread (including its
 // signal handlers, which never interleave with its own increments mid-
@@ -74,6 +80,18 @@ struct op_counters {
   relaxed_counter steal_attempts;  // pop_top calls by thieves
   relaxed_counter steals;          // ... of which returned a task
   relaxed_counter steal_aborts;    // ... of which lost the CAS race
+  // Locality split of successful steals (DESIGN.md §7). Maintained only
+  // while the locality layer is on; there the accounting identity
+  //   steals == steals_near + steals_remote
+  //          == sum(steals_by_tier)
+  // holds (equivalently steal_attempts == steals_near + steals_remote +
+  // failed attempts). With LCWS_LOCALITY_OFF all of these stay zero.
+  relaxed_counter steals_near;     // victim shared a cache (smt/core/llc)
+  relaxed_counter steals_remote;   // victim across an LLC/socket/NUMA edge
+  relaxed_counter steals_by_tier[kStealTierCount];  // indexed by
+                                                    // locality_tier
+  relaxed_counter locality_explores;  // uniform exploration picks (every
+                                      // explore_period-th victim choice)
   relaxed_counter private_work_seen;  // pop_top returned PRIVATE_WORK
   relaxed_counter exposures;       // update_public_bottom transfers
                                    // (tasks moved private -> public)
@@ -121,6 +139,15 @@ struct profile {
                : static_cast<double>(totals.steals) /
                      static_cast<double>(totals.steal_attempts);
   }
+  // Fraction of successful steals that stayed within a cache domain
+  // (bench/locality's headline metric). 0 when the locality layer is off.
+  double near_steal_fraction() const noexcept {
+    const std::uint64_t classified =
+        totals.steals_near + totals.steals_remote;
+    return classified == 0 ? 0.0
+                           : static_cast<double>(totals.steals_near) /
+                                 static_cast<double>(classified);
+  }
 };
 
 // ---- per-thread counting interface --------------------------------------
@@ -143,6 +170,11 @@ inline void count_pop_public() noexcept {}
 inline void count_steal_attempt() noexcept {}
 inline void count_steal_success() noexcept {}
 inline void count_steal_abort() noexcept {}
+inline void count_locality_steal(std::size_t tier, bool near) noexcept {
+  (void)tier;
+  (void)near;
+}
+inline void count_locality_explore() noexcept {}
 inline void count_private_work_seen() noexcept {}
 inline void count_exposure(std::uint64_t n = 1) noexcept { (void)n; }
 inline void count_exposure_request() noexcept {}
@@ -172,6 +204,20 @@ inline void count_steal_attempt() noexcept {
 }
 inline void count_steal_success() noexcept { ++local_counters().steals; }
 inline void count_steal_abort() noexcept { ++local_counters().steal_aborts; }
+// One successful steal classified by the victim's distance tier; `near`
+// is tier <= llc (the thief shares a cache with the victim).
+inline void count_locality_steal(std::size_t tier, bool near) noexcept {
+  auto& c = local_counters();
+  if (tier < kStealTierCount) ++c.steals_by_tier[tier];
+  if (near) {
+    ++c.steals_near;
+  } else {
+    ++c.steals_remote;
+  }
+}
+inline void count_locality_explore() noexcept {
+  ++local_counters().locality_explores;
+}
 inline void count_private_work_seen() noexcept {
   ++local_counters().private_work_seen;
 }

@@ -105,6 +105,8 @@ std::string monitor::debug_string(std::size_t worker) const {
       << " pressure=" << s.pressure.load(std::memory_order_relaxed)
       << " steal_ewma_pm="
       << s.steal_ewma_permille.load(std::memory_order_relaxed)
+      << " victim_steal_ewma_pm="
+      << s.victim_steal_ewma_permille.load(std::memory_order_relaxed)
       << " migrations=" << s.migrations.load(std::memory_order_relaxed);
   return out.str();
 }

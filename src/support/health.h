@@ -224,6 +224,28 @@ class monitor {
 
   // ---- oversubscription pressure (per worker, owner-driven) ---------------
 
+  // Thief-written, per-*victim* steal-success EWMA (permille, shift-3
+  // smoothing): how often does stealing from `victim` pay off, for anyone?
+  // The locality-aware victim selector (sched/victim_select.h) weighs its
+  // within-tier choice by this. Not gated on enabled(): locality weighting
+  // works with the degradation layer off. Thieves race on the slot; lost
+  // updates cost one observation, which the EWMA absorbs.
+  void note_victim_steal(std::size_t victim, bool success) noexcept {
+    auto& s = slots_[victim].get();
+    const std::uint32_t prev =
+        s.victim_steal_ewma_permille.load(std::memory_order_relaxed);
+    const std::uint32_t obs = success ? 1000u : 0u;
+    s.victim_steal_ewma_permille.store(
+        prev + (static_cast<std::int32_t>(obs - prev) / 8),
+        std::memory_order_relaxed);
+  }
+
+  // One relaxed load; the selector's within-tier weight.
+  std::uint32_t victim_steal_ewma_permille(std::size_t victim) const noexcept {
+    return slots_[victim]->victim_steal_ewma_permille.load(
+        std::memory_order_relaxed);
+  }
+
   // Owner-only: folds one steal attempt's outcome into the worker's
   // steal-success EWMA (permille, shift-8 smoothing).
   void note_steal_outcome(std::size_t self, bool success) noexcept {
@@ -292,6 +314,9 @@ class monitor {
     // Oversubscription pressure (owner-written, others read `pressure`).
     std::atomic<bool> pressure{false};
     std::atomic<std::uint32_t> steal_ewma_permille{0};
+    // Per-victim steal-yield seen by thieves (victim_select.h weighting).
+    // Starts at the neutral midpoint so unexplored victims compete evenly.
+    std::atomic<std::uint32_t> victim_steal_ewma_permille{500};
     std::atomic<std::uint64_t> migrations{0};  // sched_getcpu drift; owner
                                                // writes, dumps read relaxed
     std::uint64_t last_sample_ns = 0;   // owner-only

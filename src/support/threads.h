@@ -6,6 +6,7 @@
 #pragma once
 
 #include <pthread.h>
+#include <sched.h>
 
 #include <cstddef>
 #include <string>
@@ -25,6 +26,17 @@ void set_this_worker_id(std::size_t id) noexcept;
 // false (without failing the program) when pinning is not possible — e.g.
 // inside containers with restricted affinity masks.
 bool pin_this_thread(std::size_t cpu) noexcept;
+
+// Saved CPU-affinity mask, so a pool that pins its constructing thread
+// (locality-aware pinning, DESIGN.md §7) can put it back at destruction —
+// the caller's thread outlives the pool and must not stay pinned.
+struct saved_affinity {
+  cpu_set_t set;
+  bool valid = false;
+};
+
+saved_affinity save_this_thread_affinity() noexcept;
+void restore_this_thread_affinity(const saved_affinity& saved) noexcept;
 
 // Best-effort thread naming for debuggers/profilers (<=15 chars on Linux).
 void name_this_thread(const std::string& name) noexcept;
