@@ -26,8 +26,9 @@ for preset in default tsan; do
   ctest --preset "${preset}" -j "${jobs}" "${label_filter[@]}" "$@"
 done
 
-# Perf gate: release microbenches (micro_idle, locality) against the
-# committed BENCH_*.json baselines. Structural invariants are strict;
+# Perf gate: release microbenches (micro_idle, locality, micro_deque)
+# against the committed BENCH_*.json baselines. Structural invariants are
+# strict (including the growable deques' zero-added-fence/CAS proof);
 # timing gates carry a generous noise margin and skip on tiny hosts.
 echo "== perf gate (release benches vs committed baselines) =="
 python3 scripts/perf_gate.py --build-dir build

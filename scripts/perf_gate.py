@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Performance gate: run the committed microbenches and compare against the
-checked-in baselines (BENCH_idle.json, BENCH_locality.json).
+checked-in baselines (BENCH_idle.json, BENCH_locality.json,
+BENCH_deque.json).
 
 Two kinds of checks, in decreasing order of trust:
 
@@ -96,6 +97,10 @@ def key_idle(row):
     return (row.get("scheduler"), row.get("parking"))
 
 
+def key_deque(row):
+    return (row.get("scenario"), row.get("deque"), row.get("mode"))
+
+
 def key_locality(row):
     return (row.get("benchmark"), row.get("scheduler"), row.get("locality"))
 
@@ -188,6 +193,53 @@ def gate_near_fraction(rows):
         note(f"near fraction {frac:.3f} over {total} steals")
 
 
+def gate_deque_structural(rows):
+    """micro_deque's structural mode runs each scenario twice — storage
+    preallocated vs growing 64 -> 65536 slots in-loop. The counter deltas
+    are deterministic on any host, so these are exact-equality gates:
+
+      * growth adds ZERO fences and ZERO CAS to the owner/thief fast path
+        (grow-mode counts must be bit-identical to prealloc's);
+      * the split deque's private fill+drain performs no synchronization
+        at all — exactly 0 fences and 0 CAS — in both modes (the paper's
+        headline property survives growability);
+      * 65536 ops from 64 slots is exactly 10 doublings: grow-mode rows
+        report grows == 10, prealloc rows report grows == 0.
+    """
+    by_key = index(rows, key_deque)
+    pairs = 0
+    for (scenario, deque, mode), row in by_key.items():
+        who = f"micro_deque {scenario}/{deque}/{mode}"
+        if mode == "prealloc":
+            if row.get("grows", 0) != 0:
+                fail(f"{who}: preallocated storage grew "
+                     f"({row.get('grows')} times)")
+            continue
+        if mode != "grow":
+            continue
+        if row.get("grows") != 10:
+            fail(f"{who}: expected exactly 10 doublings (64 -> 65536), "
+                 f"got {row.get('grows')}")
+        base = by_key.get((scenario, deque, "prealloc"))
+        if base is None:
+            fail(f"{who}: missing prealloc twin row")
+            continue
+        pairs += 1
+        for field in ("fences", "cas"):
+            if row.get(field) != base.get(field):
+                fail(f"{who}: growth changed the fast-path {field} count: "
+                     f"{row.get(field)} vs prealloc {base.get(field)}")
+    for mode in ("prealloc", "grow"):
+        row = by_key.get(("fill_drain", "split", mode))
+        if row is None:
+            fail(f"micro_deque: split fill_drain/{mode} row missing")
+        elif row.get("fences", -1) != 0 or row.get("cas", -1) != 0:
+            fail(f"micro_deque fill_drain/split/{mode}: private work must "
+                 f"be synchronization-free, saw fences={row.get('fences')} "
+                 f"cas={row.get('cas')}")
+    note(f"micro_deque structural invariants over {pairs} mode pairs")
+
+
 def gate_vs_baseline(current, baseline, keyfn, ratio, label):
     """Order-of-magnitude regression check against the committed numbers.
     Baselines were recorded on a different machine: only a blown ratio
@@ -237,6 +289,7 @@ def main():
     bench_dir = os.path.join(args.build_dir, "bench")
     idle_rows = run_bench(os.path.join(bench_dir, "micro_idle"), {})
     locality_rows = run_bench(os.path.join(bench_dir, "locality"), {})
+    deque_rows = run_bench(os.path.join(bench_dir, "micro_deque"), {})
 
     if idle_rows:
         gate_idle_structural(idle_rows)
@@ -253,6 +306,13 @@ def main():
             load_json_lines(
                 os.path.join(args.baseline_dir, "BENCH_locality.json")),
             key_locality, args.ratio, "BENCH_locality")
+    if deque_rows:
+        gate_deque_structural(deque_rows)
+        gate_vs_baseline(
+            deque_rows,
+            load_json_lines(
+                os.path.join(args.baseline_dir, "BENCH_deque.json")),
+            key_deque, args.ratio, "BENCH_deque")
 
     if FAILURES:
         print(f"\nperf gate: {len(FAILURES)} failure(s)")

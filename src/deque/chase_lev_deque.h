@@ -1,4 +1,4 @@
-// Chase–Lev circular work-stealing deque (SPAA '05), bounded variant.
+// Chase–Lev circular work-stealing deque (SPAA '05), growable variant.
 //
 // Included as a second fully-concurrent baseline for the ablation
 // microbenches (bench/micro_deque): it has the same owner-side fence cost
@@ -8,40 +8,83 @@
 //
 // Index convention follows the original paper: top is the steal end,
 // bottom the owner end; the buffer is circular so indices never reset.
+//
+// Growth is the classic Chase–Lev doubling (their Section 3 "growable"
+// variant), fitted to this library's reclamation scheme (DESIGN.md §8):
+// each power-of-two buffer carries its own mask, the owner copies the
+// live logical range [top, bottom) into a doubled buffer, release-stores
+// the buffer pointer, and retires the old storage through the
+// reclaim_domain. Thieves load the buffer pointer after their acquire of
+// bottom, whose release store is sequenced after any growth covering the
+// range they index; a steal that raced a growth past its top value is
+// rejected by the top CAS before the task pointer is ever dereferenced.
+// Because the indices are monotone the owner's stores to bottom that
+// *raise* it (the undo/restore stores in pop_bottom) are release — they
+// are publication points for the slot range thieves may index.
+//
+// The historical hard abort() on overflow is gone: under LCWS_DEQUE_FIXED
+// the overflowing push throws deque_overflow_error like the other deques;
+// by default it grows.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <vector>
+#include <string>
 
 #include "deque/deque_common.h"
+#include "deque/reclaim.h"
 #include "stats/counters.h"
 #include "support/align.h"
+#include "support/fault_injection.h"
 
 namespace lcws {
 
 template <typename T>
 class chase_lev_deque {
+  using buffer_t = deque_buffer<T>;
+
  public:
-  explicit chase_lev_deque(std::size_t capacity = default_deque_capacity)
-      : mask_(next_pow2(capacity) - 1), slots_(next_pow2(capacity)) {}
+  explicit chase_lev_deque(std::size_t capacity = default_deque_capacity,
+                           reclaim_domain* domain = nullptr,
+                           deque_growth growth = deque_growth::from_env())
+      : buf_(buffer_t::create(next_pow2(capacity == 0 ? 1 : capacity))),
+        domain_(domain),
+        growth_(growth),
+        capacity_(next_pow2(capacity == 0 ? 1 : capacity)) {}
 
   chase_lev_deque(const chase_lev_deque&) = delete;
   chase_lev_deque& operator=(const chase_lev_deque&) = delete;
 
-  std::size_t capacity() const noexcept { return slots_.size(); }
+  ~chase_lev_deque() {
+    buffer_t* r = retired_;
+    while (r != nullptr) {
+      buffer_t* next = r->retired_next;
+      buffer_t::destroy(r);
+      r = next;
+    }
+    buffer_t::destroy(buf_.load(std::memory_order_relaxed));
+  }
+
+  std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
 
   // Owner only.
   void push_bottom(T* task) {
     const auto b = bottom_.load(std::memory_order_relaxed);
     const auto t = top_.load(std::memory_order_acquire);
-    if (b - t >= static_cast<std::int64_t>(slots_.size())) overflow();
-    slots_[static_cast<std::size_t>(b) & mask_].store(
+    buffer_t* buf = buf_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->size)) [[unlikely]] {
+      buf = grow(buf, t, b);
+    }
+    buf->slots()[static_cast<std::size_t>(b) & (buf->size - 1)].store(
         task, std::memory_order_relaxed);
     // Publish the slot before the new bottom becomes visible to thieves.
     bottom_.store(b + 1, std::memory_order_release);
+    if (b + 1 - t > hwm_.load(std::memory_order_relaxed)) [[unlikely]] {
+      hwm_.store(b + 1 - t, std::memory_order_relaxed);
+      stats::count_deque_hwm(static_cast<std::uint64_t>(b + 1 - t));
+    }
     stats::count_push();
   }
 
@@ -53,12 +96,15 @@ class chase_lev_deque {
     stats::count_fence();
     auto t = top_.load(std::memory_order_relaxed);
     if (t > b) {
-      // Deque was already empty; undo.
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      // Deque was already empty; undo. Release: this store raises the
+      // bound thieves index by, so it must publish the (unchanged) slots.
+      bottom_.store(b + 1, std::memory_order_release);
+      if (retired_ != nullptr) collect();
       return nullptr;
     }
+    buffer_t* buf = buf_.load(std::memory_order_relaxed);
     T* task =
-        slots_[static_cast<std::size_t>(b) & mask_].load(
+        buf->slots()[static_cast<std::size_t>(b) & (buf->size - 1)].load(
             std::memory_order_relaxed);
     if (t < b) {
       stats::count_pop_private();
@@ -68,7 +114,8 @@ class chase_lev_deque {
     const bool won = top_.compare_exchange_strong(
         t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
     stats::count_cas(won);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    if (retired_ != nullptr) collect();
     if (won) {
       stats::count_pop_private();
       return task;
@@ -76,7 +123,11 @@ class chase_lev_deque {
     return nullptr;
   }
 
-  // Thieves.
+  // Thieves. The buffer pointer is loaded after the acquire of bottom: the
+  // release store that raised bottom past t is sequenced after any growth
+  // covering logical index t, so the buffer read here maps t correctly —
+  // and if top has since moved past t (its slot possibly recycled), the
+  // CAS rejects the steal before the task pointer is used.
   steal_result<T> pop_top() {
     stats::count_steal_attempt();
     auto t = top_.load(std::memory_order_acquire);
@@ -84,8 +135,10 @@ class chase_lev_deque {
     stats::count_fence();
     const auto b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return {steal_status::empty, nullptr};
-    T* task = slots_[static_cast<std::size_t>(t) & mask_].load(
-        std::memory_order_relaxed);
+    buffer_t* buf = buf_.load(std::memory_order_acquire);
+    T* task =
+        buf->slots()[static_cast<std::size_t>(t) & (buf->size - 1)].load(
+            std::memory_order_relaxed);
     const bool won = top_.compare_exchange_strong(
         t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
     stats::count_cas(won);
@@ -103,17 +156,98 @@ class chase_lev_deque {
     return b > t ? b - t : 0;
   }
 
+  std::uint64_t grow_count() const noexcept {
+    return grows_.load(std::memory_order_relaxed);
+  }
+
+  std::int64_t high_water_mark() const noexcept {
+    return hwm_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t retired_buffers() const noexcept {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  // Racy one-line snapshot for watchdog/post-mortem dumps (capacity comes
+  // from a shadow word so the dump never dereferences the buffer).
+  std::string debug_string() const {
+    return "top=" + std::to_string(top_.load(std::memory_order_relaxed)) +
+           " bottom=" +
+           std::to_string(bottom_.load(std::memory_order_relaxed)) +
+           " cap=" + std::to_string(capacity()) +
+           " hwm=" + std::to_string(high_water_mark()) +
+           " grows=" + std::to_string(grow_count()) +
+           " retired=" + std::to_string(retired_buffers());
+  }
+
  private:
-  [[noreturn]] void overflow() const {
-    std::fprintf(stderr, "lcws: chase_lev_deque overflow (capacity %zu)\n",
-                 slots_.size());
-    std::abort();
+  [[noreturn]] void overflow(std::size_t cap) const {
+    throw deque_overflow_error("chase_lev_deque", cap, growth_.soft_cap);
+  }
+
+  // Classic Chase–Lev doubling: remap the live logical range [t, b) from
+  // the old mask to the new one. Owner thread only.
+  buffer_t* grow(buffer_t* old, std::int64_t t, std::int64_t b) {
+    if (growth_.fixed) overflow(old->size);
+    collect();
+    const std::size_t nsize = old->size * 2;
+    buffer_t* nb = buffer_t::create(nsize);
+    auto* src = old->slots();
+    auto* dst = nb->slots();
+    const std::size_t omask = old->size - 1;
+    const std::size_t nmask = nsize - 1;
+    for (std::int64_t i = t; i < b; ++i) {
+      dst[static_cast<std::size_t>(i) & nmask].store(
+          src[static_cast<std::size_t>(i) & omask].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    if (fi::inject(fi::site::deque_grow)) grow_race_pause();
+    buf_.store(nb, std::memory_order_release);
+    capacity_.store(nsize, std::memory_order_relaxed);
+    retire(old);
+    grows_.store(grows_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    stats::count_deque_grow();
+    return nb;
+  }
+
+  void retire(buffer_t* old) noexcept {
+    old->retire_token = domain_ != nullptr ? domain_->retire_token() : 0;
+    old->retired_next = retired_;
+    retired_ = old;
+    retired_count_.store(
+        retired_count_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+
+  void collect() noexcept {
+    if (domain_ == nullptr) return;
+    buffer_t** link = &retired_;
+    while (*link != nullptr) {
+      buffer_t* r = *link;
+      if (domain_->passed(r->retire_token)) {
+        *link = r->retired_next;
+        buffer_t::destroy(r);
+        retired_count_.store(
+            retired_count_.load(std::memory_order_relaxed) - 1,
+            std::memory_order_relaxed);
+      } else {
+        link = &r->retired_next;
+      }
+    }
   }
 
   alignas(cache_line_size) std::atomic<std::int64_t> top_{0};
   alignas(cache_line_size) std::atomic<std::int64_t> bottom_{0};
-  const std::size_t mask_;
-  std::vector<std::atomic<T*>> slots_;
+  alignas(cache_line_size) std::atomic<buffer_t*> buf_;
+  reclaim_domain* const domain_;
+  const deque_growth growth_;
+  buffer_t* retired_ = nullptr;  // owner-only intrusive list
+  std::atomic<std::int64_t> hwm_{0};
+  std::atomic<std::uint64_t> grows_{0};
+  std::atomic<std::size_t> capacity_;  // shadow of buf_->size for dumps
+  std::atomic<std::uint64_t> retired_count_{0};
 };
 
 }  // namespace lcws

@@ -27,32 +27,47 @@
 //     part is empty it returns PRIVATE_WORK"); we implement the documented
 //     behaviour.
 //
-// Capacity contract: like the paper's, this deque is a bounded array whose
-// indices reset only when the owner drains it completely. A steal removes
-// the top element without lowering bot, so bot drifts upward by one per
-// stolen task between full drains; capacity must cover the maximum
-// outstanding depth plus that drift (in fork-join computations the drift
-// between drains is O(P * span), far below the default capacity).
-// Overflow is detected and throws deque_overflow_error rather than
-// corrupting: the failed push publishes nothing, so the in-flight
-// computation drains normally and the exception surfaces at the spawn
-// site (see job.h's exception contract).
+// Storage contract (DESIGN.md §8): the slot array is a growable
+// deque_buffer published through an atomic pointer. A push that would run
+// off the end doubles the buffer on a slow path — copy the live prefix,
+// release-publish the replacement, retire the old storage through the
+// reclaim_domain so an in-flight thief never touches freed memory — and
+// the non-growth fast path is unchanged: push/pop still perform no fence,
+// no CAS, no RMW (one extra dependent load for the buffer indirection).
+// Indices reset only when the owner drains the deque completely; a steal
+// removes the top element without lowering bot, so bot drifts upward by
+// one per stolen task between full drains. With growth enabled that drift
+// just costs doubling; under LCWS_DEQUE_FIXED the legacy bounded contract
+// applies and the overflowing push throws deque_overflow_error without
+// publishing anything, so the in-flight computation drains normally and
+// the exception surfaces at the spawn site (see job.h).
+//
+// Thief-vs-growth safety: pop_top acquire-loads public_bot *before*
+// loading the buffer pointer. The exposure that raised public_bot is a
+// release store sequenced after any growth that made the buffer cover the
+// exposed range, so the acquire gives a buffer at least that large (plus a
+// defensive bounds check that degrades to `aborted`). Freeing is deferred
+// through the domain's quiescence protocol; without a domain, retired
+// buffers are only freed by the destructor.
 //
 // The exposure entry points (expose_one / expose_conservative /
 // expose_half) implement update_public_bottom under the three policies of
 // Sections 3, 4.1.1 and 4.1.2. They are async-signal-safe: they only load
-// and store lock-free atomics belonging to the handler's own thread.
+// and store lock-free atomics belonging to the handler's own thread
+// (growth happens inside push_bottom on the owner's thread, never in a
+// handler, and handlers touch indices only — never the buffer pointer).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
-#include <vector>
 
 #include "deque/deque_common.h"
+#include "deque/reclaim.h"
 #include "stats/counters.h"
 #include "support/align.h"
+#include "support/fault_injection.h"
 
 namespace lcws {
 
@@ -70,26 +85,53 @@ inline std::int32_t double2int(double r) noexcept {
 
 template <typename T>
 class split_deque {
+  using buffer_t = deque_buffer<T>;
+
  public:
-  explicit split_deque(std::size_t capacity = default_deque_capacity)
-      : slots_(capacity) {}
+  explicit split_deque(std::size_t capacity = default_deque_capacity,
+                       reclaim_domain* domain = nullptr,
+                       deque_growth growth = deque_growth::from_env())
+      : buf_(buffer_t::create(capacity == 0 ? 1 : capacity)),
+        domain_(domain),
+        growth_(growth),
+        capacity_(capacity == 0 ? 1 : capacity) {}
 
   split_deque(const split_deque&) = delete;
   split_deque& operator=(const split_deque&) = delete;
 
-  std::size_t capacity() const noexcept { return slots_.size(); }
+  ~split_deque() {
+    buffer_t* r = retired_;
+    while (r != nullptr) {
+      buffer_t* next = r->retired_next;
+      buffer_t::destroy(r);
+      r = next;
+    }
+    buffer_t::destroy(buf_.load(std::memory_order_relaxed));
+  }
+
+  std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
 
   // ---- owner-side, synchronization-free ---------------------------------
 
-  // Listing 2 line 5. No fence, no CAS.
+  // Listing 2 line 5. No fence, no CAS; growth is a slow path taken only
+  // when the next slot would run off the current buffer.
   void push_bottom(T* task) {
     const auto b = bot_.load(std::memory_order_relaxed);
-    if (static_cast<std::size_t>(b) >= slots_.size()) overflow();
-    slots_[static_cast<std::size_t>(b)].store(task,
-                                              std::memory_order_relaxed);
+    buffer_t* buf = buf_.load(std::memory_order_relaxed);
+    if (static_cast<std::size_t>(b) >= buf->size) [[unlikely]] {
+      buf = grow(buf, b);
+    }
+    buf->slots()[static_cast<std::size_t>(b)].store(
+        task, std::memory_order_relaxed);
     // Release (free on x86): pairs with the exposure's release chain so a
     // thief that acquire-reads public_bot past this slot sees the payload.
     bot_.store(b + 1, std::memory_order_release);
+    if (b + 1 > hwm_.load(std::memory_order_relaxed)) [[unlikely]] {
+      hwm_.store(b + 1, std::memory_order_relaxed);
+      stats::count_deque_hwm(static_cast<std::uint64_t>(b + 1));
+    }
     stats::count_push();
   }
 
@@ -101,8 +143,9 @@ class split_deque {
     if (b == public_bot_.load(std::memory_order_relaxed)) return nullptr;
     bot_.store(b - 1, std::memory_order_relaxed);
     stats::count_pop_private();
-    return slots_[static_cast<std::size_t>(b - 1)].load(
-        std::memory_order_relaxed);
+    return buf_.load(std::memory_order_relaxed)
+        ->slots()[static_cast<std::size_t>(b - 1)]
+        .load(std::memory_order_relaxed);
   }
 
   // Section 4's signal-safe variant: decrement *before* comparing, so an
@@ -114,19 +157,22 @@ class split_deque {
     bot_.store(b, std::memory_order_relaxed);
     if (b < public_bot_.load(std::memory_order_relaxed)) return nullptr;
     stats::count_pop_private();
-    return slots_[static_cast<std::size_t>(b)].load(
-        std::memory_order_relaxed);
+    return buf_.load(std::memory_order_relaxed)
+        ->slots()[static_cast<std::size_t>(b)]
+        .load(std::memory_order_relaxed);
   }
 
   // ---- owner-side, synchronized (public part) ---------------------------
 
   // Listing 2 lines 9-29, plus the Section 4 amendment: reset bot to 0 when
   // the public part is empty (repairing the signal-safe pop_bottom's
-  // speculative decrement).
+  // speculative decrement). The full-drain resets double as collection
+  // points for retired buffers (owner slow path; free when quiesced).
   T* pop_public_bottom() {
     auto pb = public_bot_.load(std::memory_order_relaxed);
     if (pb == 0) {
       bot_.store(0, std::memory_order_relaxed);
+      if (retired_ != nullptr) collect();
       return nullptr;
     }
     --pb;
@@ -135,8 +181,9 @@ class split_deque {
     // commit to the task, and read an up-to-date age.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     stats::count_fence();
-    T* task = slots_[static_cast<std::size_t>(pb)].load(
-        std::memory_order_relaxed);
+    T* task = buf_.load(std::memory_order_relaxed)
+                  ->slots()[static_cast<std::size_t>(pb)]
+                  .load(std::memory_order_relaxed);
     const auto old_age = unpack_age(age_.load(std::memory_order_relaxed));
     if (pb > static_cast<std::int64_t>(old_age.top)) {
       bot_.store(pb, std::memory_order_relaxed);
@@ -166,18 +213,31 @@ class split_deque {
     // a stale public_bot, which could double-execute a task.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     stats::count_fence();
+    if (retired_ != nullptr) collect();
     return task;
   }
 
   // ---- thief side --------------------------------------------------------
 
-  // Listing 2 lines 30-40 with the line-39 polarity fixed.
+  // Listing 2 lines 30-40 with the line-39 polarity fixed. The buffer
+  // pointer is loaded *after* the acquire of public_bot: the release store
+  // that raised public_bot is sequenced after the growth that made the
+  // buffer cover the exposed range, so coherence guarantees the buffer we
+  // read here is at least that large.
   steal_result<T> pop_top() {
     stats::count_steal_attempt();
     const auto old_age = unpack_age(age_.load(std::memory_order_acquire));
     const auto pb = public_bot_.load(std::memory_order_acquire);
     if (pb > static_cast<std::int64_t>(old_age.top)) {
-      T* task = slots_[old_age.top].load(std::memory_order_relaxed);
+      buffer_t* buf = buf_.load(std::memory_order_acquire);
+      if (old_age.top >= buf->size) [[unlikely]] {
+        // Mutually stale index/buffer snapshot (cannot happen for an
+        // exposed slot per the ordering above; purely defensive). Treat as
+        // a lost race rather than reading out of bounds.
+        stats::count_steal_abort();
+        return {steal_status::aborted, nullptr};
+      }
+      T* task = buf->slots()[old_age.top].load(std::memory_order_relaxed);
       age_t new_age = old_age;
       ++new_age.top;
       auto expected = pack_age(old_age);
@@ -202,6 +262,8 @@ class split_deque {
   // ---- exposure policies (update_public_bottom) --------------------------
   // All three may be invoked from a SIGUSR1 handler running on the owner's
   // thread, concurrently (in the interleaving sense) with pop_bottom_*.
+  // They touch only the index words — never the buffer pointer — so growth
+  // cannot race them and they stay async-signal-safe.
 
   // Section 3 / base signal policy: expose the topmost private task, if
   // any. Requires pop_bottom_signal_safe when driven from a signal handler.
@@ -300,8 +362,22 @@ class split_deque {
     return private_size() + public_size();
   }
 
+  std::uint64_t grow_count() const noexcept {
+    return grows_.load(std::memory_order_relaxed);
+  }
+
+  std::int64_t high_water_mark() const noexcept {
+    return hwm_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t retired_buffers() const noexcept {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
   // Racy one-line snapshot of the index state for watchdog/post-mortem
-  // dumps (relaxed loads only; values may be mutually inconsistent).
+  // dumps (relaxed loads only; values may be mutually inconsistent — in
+  // particular capacity comes from a shadow word, never the buffer, so a
+  // dumping watchdog thread cannot race reclamation).
   std::string debug_string() const {
     const auto a = unpack_age(age_.load(std::memory_order_relaxed));
     return "top=" + std::to_string(a.top) +
@@ -309,12 +385,75 @@ class split_deque {
            std::to_string(public_bot_.load(std::memory_order_relaxed)) +
            " bot=" + std::to_string(bot_.load(std::memory_order_relaxed)) +
            " tag=" + std::to_string(a.tag) +
-           " cap=" + std::to_string(slots_.size());
+           " cap=" + std::to_string(capacity()) +
+           " hwm=" + std::to_string(high_water_mark()) +
+           " grows=" + std::to_string(grow_count()) +
+           " retired=" + std::to_string(retired_buffers());
   }
 
  private:
-  [[noreturn]] void overflow() const {
-    throw deque_overflow_error("split_deque", slots_.size());
+  [[noreturn]] void overflow(std::size_t cap) const {
+    throw deque_overflow_error("split_deque", cap, growth_.soft_cap);
+  }
+
+  // Growth slow path: double the buffer (covering index b), copy the live
+  // prefix [0, b), publish, retire the old storage. Owner thread only.
+  buffer_t* grow(buffer_t* old, std::int64_t b) {
+    if (growth_.fixed) overflow(old->size);
+    collect();
+    std::size_t nsize = old->size * 2;
+    while (nsize <= static_cast<std::size_t>(b)) nsize *= 2;
+    buffer_t* nb = buffer_t::create(nsize);
+    auto* src = old->slots();
+    auto* dst = nb->slots();
+    // Copy everything below bot: [0, top) is dead history and [top, b) is
+    // live. Stale values in already-stolen slots are harmless — thieves
+    // validate every read through the age CAS.
+    for (std::int64_t i = 0; i < b; ++i) {
+      dst[i].store(src[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+    if (fi::inject(fi::site::deque_grow)) grow_race_pause();
+    // Publication point: release so a thief's acquire chain through the
+    // index words sees fully copied slots.
+    buf_.store(nb, std::memory_order_release);
+    capacity_.store(nsize, std::memory_order_relaxed);
+    retire(old);
+    grows_.store(grows_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    stats::count_deque_grow();
+    return nb;
+  }
+
+  // Retire after publication: the domain token drawn here is ordered after
+  // the buf_ release store, which is what makes passed() imply
+  // unreachability (see reclaim.h).
+  void retire(buffer_t* old) noexcept {
+    old->retire_token = domain_ != nullptr ? domain_->retire_token() : 0;
+    old->retired_next = retired_;
+    retired_ = old;
+    retired_count_.store(
+        retired_count_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+
+  // Free retired buffers whose token every registered reader has passed.
+  // Without a domain nothing is freed until destruction. Owner slow path.
+  void collect() noexcept {
+    if (domain_ == nullptr) return;
+    buffer_t** link = &retired_;
+    while (*link != nullptr) {
+      buffer_t* r = *link;
+      if (domain_->passed(r->retire_token)) {
+        *link = r->retired_next;
+        buffer_t::destroy(r);
+        retired_count_.store(
+            retired_count_.load(std::memory_order_relaxed) - 1,
+            std::memory_order_relaxed);
+      } else {
+        link = &r->retired_next;
+      }
+    }
   }
 
   // bot and public_bot share a line deliberately: both are owner-written,
@@ -322,7 +461,14 @@ class split_deque {
   alignas(cache_line_size) std::atomic<std::int64_t> bot_{0};
   std::atomic<std::int64_t> public_bot_{0};
   alignas(cache_line_size) std::atomic<std::uint64_t> age_{0};
-  std::vector<std::atomic<T*>> slots_;
+  alignas(cache_line_size) std::atomic<buffer_t*> buf_;
+  reclaim_domain* const domain_;
+  const deque_growth growth_;
+  buffer_t* retired_ = nullptr;  // owner-only intrusive list
+  std::atomic<std::int64_t> hwm_{0};
+  std::atomic<std::uint64_t> grows_{0};
+  std::atomic<std::size_t> capacity_;  // shadow of buf_->size for dumps
+  std::atomic<std::uint64_t> retired_count_{0};
 };
 
 }  // namespace lcws

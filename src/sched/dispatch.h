@@ -17,52 +17,72 @@ namespace lcws {
 
 // Constructs a scheduler of the requested kind with `num_workers` workers
 // and invokes visitor(sched). The scheduler is torn down before returning.
-// `parking` forwards the elastic-idling knob (default: LCWS_NO_PARKING
-// env); `locality` the victim-selection one (default: LCWS_LOCALITY_OFF
-// env). Usage:
+// `deque_capacity` sets each worker's initial deque size (growth tests use
+// tiny values to force doubling); `parking` forwards the elastic-idling
+// knob (default: LCWS_NO_PARKING env); `locality` the victim-selection one
+// (default: LCWS_LOCALITY_OFF env). Usage:
 //   with_scheduler(kind, p, [&](auto& sched) { ... });
 template <typename Visitor>
 decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
+                              std::size_t deque_capacity,
                               parking_mode parking, locality_mode locality,
                               Visitor&& visitor) {
   switch (kind) {
     case sched_kind::ws: {
-      ws_scheduler sched(num_workers, default_deque_capacity, parking,
-                         locality);
+      ws_scheduler sched(num_workers, deque_capacity, parking, locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::uslcws: {
-      uslcws_scheduler sched(num_workers, default_deque_capacity, parking,
+      uslcws_scheduler sched(num_workers, deque_capacity, parking,
                              locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::signal: {
-      signal_scheduler sched(num_workers, default_deque_capacity, parking,
+      signal_scheduler sched(num_workers, deque_capacity, parking,
                              locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::conservative: {
-      conservative_scheduler sched(num_workers, default_deque_capacity,
-                                   parking, locality);
+      conservative_scheduler sched(num_workers, deque_capacity, parking,
+                                   locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::expose_half: {
-      expose_half_scheduler sched(num_workers, default_deque_capacity,
-                                  parking, locality);
+      expose_half_scheduler sched(num_workers, deque_capacity, parking,
+                                  locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::private_deques: {
-      private_deques_scheduler sched(num_workers, default_deque_capacity,
-                                     parking, locality);
+      private_deques_scheduler sched(num_workers, deque_capacity, parking,
+                                     locality);
       return std::forward<Visitor>(visitor)(sched);
     }
     case sched_kind::lace:
     default: {
-      lace_scheduler sched(num_workers, default_deque_capacity, parking,
-                           locality);
+      lace_scheduler sched(num_workers, deque_capacity, parking, locality);
       return std::forward<Visitor>(visitor)(sched);
     }
   }
+}
+
+template <typename Visitor>
+decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
+                              parking_mode parking, locality_mode locality,
+                              Visitor&& visitor) {
+  return with_scheduler(kind, num_workers, default_deque_capacity, parking,
+                        locality, std::forward<Visitor>(visitor));
+}
+
+// The visitor is a callable, never convertible to std::size_t, so this
+// capacity-only overload cannot collide with the parking one above.
+template <typename Visitor>
+decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
+                              std::size_t deque_capacity,
+                              Visitor&& visitor) {
+  return with_scheduler(kind, num_workers, deque_capacity,
+                        parking_mode::env_default,
+                        locality_mode::env_default,
+                        std::forward<Visitor>(visitor));
 }
 
 template <typename Visitor>

@@ -109,6 +109,7 @@
 #include <vector>
 
 #include "deque/job.h"
+#include "deque/reclaim.h"
 #include "sched/policies.h"
 #include "sched/signal_support.h"
 #include "sched/victim_select.h"
@@ -290,6 +291,18 @@ class scheduler {
     }
     const std::size_t self = this_worker_id();
     assert(self < nworkers_ && "pardo called from a non-worker thread");
+    // Overload backpressure (DESIGN.md §8): past the soft cap this worker
+    // already holds more spawnable work than the pool can plausibly drain,
+    // so serializing the fork bounds memory instead of growing the deque
+    // without limit. Inline branches never touch the deque or the join
+    // protocol, so every counter identity is unchanged. Disabled in fixed-
+    // capacity mode (legacy behaviour: grow until the deque throws).
+    if (growth_cfg_.soft_cap != 0 && !growth_cfg_.fixed &&
+        static_cast<std::uint64_t>(workers_[self]->deque.size_estimate()) >=
+            growth_cfg_.soft_cap) [[unlikely]] {
+      pardo_serial(left, right);
+      return;
+    }
     lambda_job<std::remove_reference_t<R>> right_job(right);
     push(self, &right_job);
     if constexpr (std::is_nothrow_invocable_v<L&>) {
@@ -306,6 +319,29 @@ class scheduler {
       if (left_ex != nullptr) std::rethrow_exception(left_ex);
     }
     right_job.rethrow_if_exception();
+  }
+
+  // Serialized fork for the soft-cap overload path: both branches always
+  // run (matching pardo's drain-before-rethrow contract) and when both
+  // throw, the left exception wins — exactly pardo's semantics, minus the
+  // deque round trip.
+  template <typename L, typename R>
+  void pardo_serial(L&& left, R&& right) {
+    stats::count_spawn_inline();
+    std::exception_ptr left_ex;
+    try {
+      left();
+    } catch (...) {
+      left_ex = std::current_exception();
+    }
+    std::exception_ptr right_ex;
+    try {
+      right();
+    } catch (...) {
+      right_ex = std::current_exception();
+    }
+    if (left_ex != nullptr) std::rethrow_exception(left_ex);
+    if (right_ex != nullptr) std::rethrow_exception(right_ex);
   }
 
   // ---- instrumentation ----------------------------------------------------
@@ -347,13 +383,18 @@ class scheduler {
     out << "scheduler=" << Policy::name << " workers=" << nworkers_
         << " active=" << active_.load(std::memory_order_relaxed)
         << " shutdown=" << shutdown_.load(std::memory_order_relaxed)
-        << " parking=" << parking_ << " locality=" << locality_ << "\n";
+        << " parking=" << parking_ << " locality=" << locality_
+        << " deque_fixed=" << growth_cfg_.fixed
+        << " soft_cap=" << growth_cfg_.soft_cap << "\n";
     for (std::size_t i = 0; i < nworkers_; ++i) {
       const auto& c = counters_[i].get();
       out << "  w" << i << ": deque{" << workers_[i]->deque.debug_string()
           << "} targeted=" << targeted_[i]->load(std::memory_order_relaxed)
           << " announced=" << lot_.is_announced(i)
           << " tasks=" << c.tasks_executed.get()
+          << " grows=" << c.deque_grows.get()
+          << " hwm=" << c.deque_hwm.get()
+          << " spawns_inline=" << c.spawns_inline.get()
           << " steals=" << c.steals.get() << "/" << c.steal_attempts.get();
       if (locality_) {
         out << " cpu=" << cpu_of_worker_[i]
@@ -398,6 +439,11 @@ class scheduler {
   deque_type& deque_of(std::size_t worker) noexcept {
     return workers_[worker]->deque;
   }
+  // The pool's reclamation domain (DESIGN.md §8; test/diagnostic).
+  reclaim_domain& reclaim() noexcept { return reclaim_; }
+  // The growth/backpressure policy in effect (snapshotted from the
+  // environment at construction).
+  const deque_growth& growth_config() const noexcept { return growth_cfg_; }
   bool is_targeted(std::size_t worker) const noexcept {
     return targeted_[worker]->load(std::memory_order_relaxed);
   }
@@ -429,12 +475,16 @@ class scheduler {
                  std::uint64_t rng_seed)
         : pool(p),
           id(i),
-          deque(deque_capacity),
+          reader(p->reclaim_.register_reader()),
+          deque(deque_capacity, &p->reclaim_, p->growth_cfg_),
           rng(rng_seed),
           throttle(p->health_.cfg().steal_budget,
                    p->health_.cfg().budget_window_ns) {}
     scheduler* const pool;     // back-pointer for the exposure trampoline
     const std::size_t id;
+    // Reclamation reader slot (DESIGN.md §8): registered before any run()
+    // — and therefore before any growth — per reclaim_domain's contract.
+    const std::size_t reader;
     deque_type deque;
     xoshiro256 rng;            // victim selection; owner-only
     pthread_t handle{};        // published before ready_ increments
@@ -872,6 +922,12 @@ class scheduler {
   }
 
   found_task find_task(std::size_t self) {
+    // Quiescent point (DESIGN.md §8): between deque operations this worker
+    // provably holds no deque-buffer pointer, so announce the epoch. One
+    // acquire load + one release store to this worker's own slot — no
+    // fence, no CAS — and it unblocks reclamation of storage retired by
+    // any grown deque in the pool.
+    reclaim_.quiesce(workers_[self]->reader);
     if (job* task = get_local(self)) return {task, false};
     return {steal_once(self), true};
   }
@@ -957,6 +1013,9 @@ class scheduler {
       }
     }
     auto& ws = *workers_[self];
+    // Last quiesce before a potentially long sleep: a parked reader merely
+    // delays reclamation, but there is no reason to park one epoch behind.
+    reclaim_.quiesce(ws.reader);
     stats::count_park();
     stopwatch sw;
     const bool woken =
@@ -1021,6 +1080,9 @@ class scheduler {
     while (true) {
       if (shutdown_.load(std::memory_order_acquire)) break;
       if (!active_.load(std::memory_order_acquire)) {
+        // Blocking between runs: quiesce first so storage retired by the
+        // previous computation can be reclaimed while we sleep.
+        reclaim_.quiesce(workers_[id]->reader);
         std::unique_lock<std::mutex> lock(mutex_);
         idle_cv_.wait(lock, [this] {
           return active_.load(std::memory_order_acquire) ||
@@ -1054,6 +1116,13 @@ class scheduler {
   }
 
   const std::size_t nworkers_;
+  // §8 growable-deque plumbing. Both must precede workers_ in declaration
+  // order only conceptually (worker_state construction happens in the
+  // constructor body, after all members are initialized): the domain hands
+  // out reader slots and the policy is snapshotted from the environment
+  // once, so every worker's deque shares one consistent configuration.
+  reclaim_domain reclaim_;
+  const deque_growth growth_cfg_ = deque_growth::from_env();
   std::vector<std::unique_ptr<worker_state>> workers_;
   std::vector<cache_aligned<std::atomic<bool>>> targeted_;
   mutable std::vector<cache_aligned<stats::op_counters>> counters_;

@@ -111,6 +111,14 @@ struct op_counters {
                                        // exposure_requests == signals_sent
                                        //   + signals_failed
                                        //   + fallback_exposures
+  relaxed_counter deque_grows;     // slow-path deque growth events (the
+                                   // owner doubled its slot storage)
+  relaxed_counter deque_hwm;       // max outstanding tasks observed in this
+                                   // worker's deque (high-water mark, NOT a
+                                   // sum: += takes the max, - keeps a's)
+  relaxed_counter spawns_inline;   // pardo branches run serially because
+                                   // size_estimate() hit LCWS_DEQUE_SOFT_CAP
+                                   // (backpressure; no push, no steal)
   relaxed_counter tasks_executed;  // jobs actually run by this worker
   relaxed_counter idle_loops;      // scheduling-loop iterations w/o a task
   relaxed_counter parks;           // park episodes (worker blocked idle)
@@ -184,6 +192,9 @@ inline void count_signal_failed() noexcept {}
 inline void count_degrade_event() noexcept {}
 inline void count_recover_event() noexcept {}
 inline void count_fallback_exposure() noexcept {}
+inline void count_deque_grow() noexcept {}
+inline void count_deque_hwm(std::uint64_t size) noexcept { (void)size; }
+inline void count_spawn_inline() noexcept {}
 inline void count_task_executed() noexcept {}
 inline void count_idle_loop() noexcept {}
 inline void count_park() noexcept {}
@@ -242,6 +253,15 @@ inline void count_recover_event() noexcept {
 }
 inline void count_fallback_exposure() noexcept {
   ++local_counters().fallback_exposures;
+}
+inline void count_deque_grow() noexcept { ++local_counters().deque_grows; }
+// Max-update: records the largest deque size this worker ever held.
+inline void count_deque_hwm(std::uint64_t size) noexcept {
+  auto& c = local_counters().deque_hwm;
+  if (size > c.get()) c = size;
+}
+inline void count_spawn_inline() noexcept {
+  ++local_counters().spawns_inline;
 }
 inline void count_task_executed() noexcept {
   ++local_counters().tasks_executed;

@@ -32,6 +32,10 @@
 //   signal_send    signal_support.cpp  pthread_kill reports failure
 //   spurious_wake  parking_lot.h  park() returns immediately, permitless,
 //                                 as if the OS woke the cv spuriously
+//   deque_grow     split/abp/chase_lev deque grow(): the owner stalls
+//                  between copying slots and publishing the new buffer,
+//                  widening the thief-versus-growth race the reclamation
+//                  scheme must survive
 #pragma once
 
 #include <cstdint>
@@ -44,6 +48,7 @@ enum class site : unsigned {
   exposure_delay,
   signal_send,
   spurious_wake,
+  deque_grow,
   num_sites,  // sentinel
 };
 

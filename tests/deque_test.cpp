@@ -689,12 +689,16 @@ TEST(SplitDequeStress, ExactlyOnceWithConservativeExposure) {
 }
 
 // ---------------------------------------------------------------------------
-// Capacity exhaustion: a detectable error, not undefined behavior
+// Capacity exhaustion (fixed mode): a detectable error, not UB
 // ---------------------------------------------------------------------------
+
+// LCWS_DEQUE_FIXED semantics, requested programmatically: growth disabled,
+// push past capacity throws.
+constexpr deque_growth fixed_mode{/*fixed=*/true, /*soft_cap=*/0};
 
 TEST(SplitDeque, OverflowThrowsWithoutCorruption) {
   auto arena = make_arena(10);
-  split_deque<int> d(8);
+  split_deque<int> d(8, nullptr, fixed_mode);
   for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
   try {
     d.push_bottom(&arena[8]);
@@ -718,7 +722,7 @@ TEST(SplitDeque, OverflowThrowsWithoutCorruption) {
 // the deque completely — filling past that drift must throw, not corrupt.
 TEST(SplitDeque, StealDriftOverflowIsDetected) {
   auto arena = make_arena(9);
-  split_deque<int> d(8);
+  split_deque<int> d(8, nullptr, fixed_mode);
   for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
   while (d.expose_one() == 1) {
   }
@@ -738,13 +742,324 @@ TEST(SplitDeque, StealDriftOverflowIsDetected) {
 
 TEST(AbpDeque, OverflowThrowsWithoutCorruption) {
   auto arena = make_arena(9);
-  abp_deque<int> d(8);
+  abp_deque<int> d(8, nullptr, fixed_mode);
   for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
   EXPECT_THROW(d.push_bottom(&arena[8]), deque_overflow_error);
   for (int i = 7; i >= 0; --i) {
     EXPECT_EQ(d.pop_bottom(), &arena[static_cast<std::size_t>(i)]);
   }
   EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLevDeque, FixedModeOverflowThrowsInsteadOfAborting) {
+  auto arena = make_arena(9);
+  chase_lev_deque<int> d(8, nullptr, fixed_mode);
+  for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  try {
+    d.push_bottom(&arena[8]);
+    FAIL() << "expected deque_overflow_error";
+  } catch (const deque_overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("chase_lev_deque"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("deque_capacity"),
+              std::string::npos);
+  }
+  for (int i = 7; i >= 0; --i) {
+    EXPECT_EQ(d.pop_bottom(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Growth: overflow becomes a slow-path doubling event (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+// Growth enabled regardless of this process's LCWS_DEQUE_FIXED setting.
+constexpr deque_growth grow_mode{/*fixed=*/false, /*soft_cap=*/0};
+
+TEST(SplitDeque, GrowthPreservesContentsAndOrder) {
+  const int n = 1000;
+  auto arena = make_arena(n);
+  split_deque<int> d(16, nullptr, grow_mode);
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_EQ(d.private_size(), n);
+  // Geometric doubling identity: capacity == initial << grows.
+  EXPECT_EQ(d.capacity(), std::size_t{16} << d.grow_count());
+  EXPECT_GE(d.capacity(), static_cast<std::size_t>(n));
+  EXPECT_EQ(d.high_water_mark(), n);
+  // Without a domain nothing is freed early; every grown-out buffer is
+  // parked on the retired list until destruction.
+  EXPECT_EQ(d.retired_buffers(), d.grow_count());
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_EQ(d.pop_bottom_original(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom_original(), nullptr);
+}
+
+TEST(SplitDeque, GrowthAcrossThePublicBoundaryKeepsExposedTasksStealable) {
+  const int n = 300;
+  auto arena = make_arena(n);
+  split_deque<int> d(8, nullptr, grow_mode);
+  for (int i = 0; i < 4; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 4; ++i) d.expose_one();
+  // Pushing past capacity with live public slots: growth must carry them.
+  for (int i = 4; i < n; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  EXPECT_GT(d.grow_count(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    const auto r = d.pop_top();
+    ASSERT_EQ(r.status, steal_status::stolen);
+    EXPECT_EQ(r.task, &arena[static_cast<std::size_t>(i)]);
+  }
+  for (int i = n - 1; i >= 4; --i) {
+    ASSERT_EQ(d.pop_bottom_original(), &arena[static_cast<std::size_t>(i)]);
+  }
+}
+
+// The legacy StealDriftOverflow scenario, growth edition: drifted slots
+// cost a doubling instead of an exception, and the eventual full drain
+// still resets the indices.
+TEST(SplitDeque, StealDriftGrowsInsteadOfThrowing) {
+  auto arena = make_arena(9);
+  split_deque<int> d(8, nullptr, grow_mode);
+  for (int i = 0; i < 8; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+  while (d.expose_one() == 1) {
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(d.pop_top().status, steal_status::stolen);
+  }
+  EXPECT_EQ(d.size_estimate(), 0);
+  d.push_bottom(&arena[8]);  // would throw in fixed mode
+  EXPECT_EQ(d.grow_count(), 1u);
+  EXPECT_EQ(d.pop_bottom_original(), &arena[8]);
+}
+
+TEST(AbpDeque, GrowthPreservesContentsAndOrder) {
+  const int n = 1000;
+  auto arena = make_arena(n);
+  abp_deque<int> d(16, nullptr, grow_mode);
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_EQ(d.size_estimate(), n);
+  EXPECT_EQ(d.capacity(), std::size_t{16} << d.grow_count());
+  EXPECT_EQ(d.high_water_mark(), n);
+  // FIFO half from the top, LIFO half from the bottom.
+  for (int i = 0; i < n / 2; ++i) {
+    const auto r = d.pop_top();
+    ASSERT_EQ(r.status, steal_status::stolen);
+    EXPECT_EQ(r.task, &arena[static_cast<std::size_t>(i)]);
+  }
+  for (int i = n - 1; i >= n / 2; --i) {
+    ASSERT_EQ(d.pop_bottom(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLevDeque, GrowthRemapsTheCircularRange) {
+  const int n = 500;
+  auto arena = make_arena(n);
+  chase_lev_deque<int> d(4, nullptr, grow_mode);
+  // Wrap the indices first so the live range straddles the old buffer's
+  // modulus when growth remaps it.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) d.push_bottom(&arena[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < 3; ++i) ASSERT_NE(d.pop_bottom(), nullptr);
+  }
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_GT(d.grow_count(), 0u);
+  EXPECT_EQ(d.size_estimate(), n);
+  for (int i = 0; i < n / 2; ++i) {
+    const auto r = d.pop_top();
+    ASSERT_EQ(r.status, steal_status::stolen);
+    EXPECT_EQ(r.task, &arena[static_cast<std::size_t>(i)]);
+  }
+  for (int i = n - 1; i >= n / 2; --i) {
+    ASSERT_EQ(d.pop_bottom(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+// The task ceiling is really gone: push past default_deque_capacity in one
+// deque (single-threaded; the scheduler-level equivalent lives in
+// deque_growth_test.cpp with a smaller starting capacity).
+TEST(SplitDeque, GrowsPastDefaultDequeCapacity) {
+  const int n = static_cast<int>(default_deque_capacity) + 1000;
+  auto arena = make_arena(n);
+  split_deque<int> d(default_deque_capacity, nullptr, grow_mode);
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_GE(d.grow_count(), 1u);
+  EXPECT_EQ(d.high_water_mark(), n);
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_EQ(d.pop_bottom_original(), &arena[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(d.pop_bottom_original(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation: retirement, quiescence, and grow-during-steal races
+// ---------------------------------------------------------------------------
+
+TEST(ReclaimDomain, PassesOnlyAfterEveryReaderQuiesces) {
+  reclaim_domain dom;
+  const std::size_t r0 = dom.register_reader();
+  const std::size_t r1 = dom.register_reader();
+  ASSERT_EQ(dom.reader_count(), 2u);
+  const std::uint64_t token = dom.retire_token();
+  EXPECT_FALSE(dom.passed(token));  // nobody has quiesced yet
+  dom.quiesce(r0);
+  EXPECT_FALSE(dom.passed(token));  // one reader still outstanding
+  dom.quiesce(r1);
+  EXPECT_TRUE(dom.passed(token));
+  // A new token is again blocked until the next quiesce round.
+  const std::uint64_t token2 = dom.retire_token();
+  EXPECT_FALSE(dom.passed(token2));
+  dom.quiesce(r0);
+  dom.quiesce(r1);
+  EXPECT_TRUE(dom.passed(token2));
+}
+
+TEST(SplitDeque, RetiredBuffersAreFreedAtDrainPointsOnceQuiesced) {
+  reclaim_domain dom;
+  const std::size_t reader = dom.register_reader();
+  const int n = 200;
+  auto arena = make_arena(n);
+  split_deque<int> d(8, &dom, grow_mode);
+  for (auto& x : arena) d.push_bottom(&x);
+  const std::uint64_t grown = d.grow_count();
+  ASSERT_GT(grown, 0u);
+  EXPECT_EQ(d.retired_buffers(), grown);  // reader silent: nothing freed
+  dom.quiesce(reader);
+  // Full drain hits the pop_public_bottom reset, which collects.
+  for (int i = 0; i < n; ++i) ASSERT_NE(d.pop_bottom_original(), nullptr);
+  EXPECT_EQ(d.pop_bottom_original(), nullptr);
+  EXPECT_EQ(d.pop_public_bottom(), nullptr);
+  EXPECT_EQ(d.retired_buffers(), 0u);
+}
+
+// Thieves hammer pop_top (quiescing between attempts) while the owner's
+// pushes force repeated growth: every task is consumed exactly once, no
+// thief ever reads freed storage (ASan/TSan-checked in those CI jobs), and
+// the retired list drains once everyone quiesces.
+TEST(SplitDequeStress, ExactlyOnceUnderConcurrentStealsAndGrowth) {
+  reclaim_domain dom;
+  split_deque<int> d(16, &dom, grow_mode);
+  const int total = 6000;
+  const int thieves = 3;
+  std::vector<std::atomic<int>> taken(static_cast<std::size_t>(total));
+  for (auto& t : taken) t.store(0);
+  auto arena = make_arena(total);
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      const std::size_t reader = dom.register_reader();
+      dom.quiesce(reader);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto r = d.pop_top();
+        if (r.status == steal_status::stolen) {
+          taken[static_cast<std::size_t>(*r.task)].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+        dom.quiesce(reader);  // buffer pointer provably dropped
+      }
+      dom.quiesce(reader);
+    });
+  }
+  // The domain contract requires every reader registered before the first
+  // growth; hold pushes until all thieves have their slots.
+  while (dom.reader_count() < static_cast<std::size_t>(thieves)) {
+    std::this_thread::yield();
+  }
+
+  xoshiro256 rng(42);
+  int pushed = 0;
+  while (consumed.load(std::memory_order_relaxed) < total) {
+    if (pushed < total && rng.bounded(3) != 0) {
+      d.push_bottom(&arena[static_cast<std::size_t>(pushed)]);
+      ++pushed;
+      if (rng.bounded(2) == 0) d.expose_one();
+    } else {
+      if (rng.bounded(2) == 0) d.expose_half();
+      int* t = d.pop_bottom_signal_safe();
+      if (t == nullptr) t = d.pop_public_bottom();
+      if (t != nullptr) {
+        taken[static_cast<std::size_t>(*t)].fetch_add(1);
+        consumed.fetch_add(1);
+      } else if (pushed == total) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  EXPECT_GT(d.grow_count(), 0u) << "stress never grew; raise total";
+  for (int i = 0; i < total; ++i) {
+    EXPECT_EQ(taken[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+  // Every thief quiesced after the last possible retirement, so the next
+  // drain point reclaims the whole retired list.
+  EXPECT_EQ(d.pop_public_bottom(), nullptr);
+  EXPECT_EQ(d.retired_buffers(), 0u);
+}
+
+TEST(ChaseLevDequeStress, ExactlyOnceUnderConcurrentStealsAndGrowth) {
+  reclaim_domain dom;
+  chase_lev_deque<int> d(16, &dom, grow_mode);
+  const int total = 6000;
+  const int thieves = 3;
+  std::vector<std::atomic<int>> taken(static_cast<std::size_t>(total));
+  for (auto& t : taken) t.store(0);
+  auto arena = make_arena(total);
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      const std::size_t reader = dom.register_reader();
+      dom.quiesce(reader);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto r = d.pop_top();
+        if (r.status == steal_status::stolen) {
+          taken[static_cast<std::size_t>(*r.task)].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+        dom.quiesce(reader);
+      }
+      dom.quiesce(reader);
+    });
+  }
+  while (dom.reader_count() < static_cast<std::size_t>(thieves)) {
+    std::this_thread::yield();
+  }
+
+  xoshiro256 rng(7);
+  int pushed = 0;
+  while (consumed.load(std::memory_order_relaxed) < total) {
+    if (pushed < total && rng.bounded(3) != 0) {
+      d.push_bottom(&arena[static_cast<std::size_t>(pushed)]);
+      ++pushed;
+    } else {
+      if (int* t = d.pop_bottom()) {
+        taken[static_cast<std::size_t>(*t)].fetch_add(1);
+        consumed.fetch_add(1);
+      } else if (pushed == total) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  EXPECT_GT(d.grow_count(), 0u) << "stress never grew; raise total";
+  for (int i = 0; i < total; ++i) {
+    EXPECT_EQ(taken[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // or correctness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -194,6 +195,56 @@ TEST(FaultDirected, AllStealsFailStillCompletes) {
   EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u);
   EXPECT_EQ(sched.profile().totals.steals.get(), 0u);
   fi::disable();
+}
+
+// A left-leaning spine: each level forks one trivial right child and
+// recurses down the left, so the owner's private deque holds ~depth jobs
+// at the deepest point. With a tiny starting capacity this forces many
+// growth events while thieves are live. Returns depth + 1.
+template <typename Sched>
+std::uint64_t deep_spine(Sched& sched, unsigned depth) {
+  if (depth == 0) return 1;
+  std::uint64_t l = 0, r = 0;
+  sched.pardo([&] { l = deep_spine(sched, depth - 1); }, [&] { r = 1; });
+  return l + r;
+}
+
+// The tentpole's race scenario: every growth event pauses the owner
+// between allocating the doubled buffer and publishing it (deque_grow
+// site at 100%), stretching the window in which thieves race the swap.
+// Work must still complete exactly once with balanced counters, and the
+// growth counters must actually move (except for the unbounded mailbox
+// deque, which never grows).
+TEST_P(FaultSweep, DequeGrowthRacingThievesCompletesExactlyOnce) {
+  const sched_kind kind = GetParam();
+  const int seeds = std::max(4, sweep_seeds() / 4);
+  for (int seed = 0; seed < seeds; ++seed) {
+    fi::configure(static_cast<std::uint64_t>(seed) * 0x2545f491ULL + 3,
+                  /*rate_permille=*/1000, fi::site_bit(fi::site::deque_grow));
+    with_scheduler(kind, 4, /*deque_capacity=*/64, [&](auto& sched) {
+      sched.reset_counters();
+      const std::uint64_t v = sched.run([&] { return deep_spine(sched, 1200); });
+      EXPECT_EQ(v, 1201u) << to_string(kind) << " seed " << seed;
+      const auto t = sched.profile().totals;
+      EXPECT_EQ(t.pushes.get(), t.pops_private.get() + t.pops_public.get() +
+                                    t.steals.get())
+          << to_string(kind) << " seed " << seed;
+      EXPECT_EQ(t.tasks_executed.get(), t.pushes.get() - t.unexposures.get())
+          << to_string(kind) << " seed " << seed;
+      if (kind == sched_kind::private_deques) {
+        EXPECT_EQ(t.deque_grows.get(), 0u) << to_string(kind);
+      } else {
+        EXPECT_GT(t.deque_grows.get(), 0u)
+            << to_string(kind) << " seed " << seed
+            << ": spine never outgrew the 64-slot start";
+        EXPECT_GE(fi::injected_count(fi::site::deque_grow), 1u)
+            << to_string(kind) << " seed " << seed;
+        EXPECT_GT(t.deque_hwm.get(), 64u)
+            << to_string(kind) << " seed " << seed;
+      }
+    });
+    fi::disable();
+  }
 }
 
 // Directed test: parking under permanent spurious wakeups must neither
