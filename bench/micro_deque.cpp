@@ -15,9 +15,12 @@
 //                       counter deltas as JSON Lines. The counts are
 //                       load-independent, so the gate can require
 //                       bit-equality: growth must add zero fences and
-//                       zero CAS to the fast path, and the split deque's
+//                       zero CAS to the fast path, the split deque's
 //                       private fill+drain must stay at exactly zero of
-//                       both.
+//                       both, and the wsmult deque must report zero
+//                       fences and zero CAS on BOTH its fill_drain and
+//                       steal scenarios (the fig3-style proof that owner
+//                       take and thief steal are fully fence/CAS-free).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -28,6 +31,7 @@
 #include "deque/abp_deque.h"
 #include "deque/chase_lev_deque.h"
 #include "deque/split_deque.h"
+#include "deque/wsmult_deque.h"
 #include "stats/counters.h"
 
 namespace {
@@ -36,6 +40,7 @@ using lcws::abp_deque;
 using lcws::chase_lev_deque;
 using lcws::deque_growth;
 using lcws::split_deque;
+using lcws::wsmult_deque;
 
 void BM_AbpPushPop(benchmark::State& state) {
   abp_deque<int> d(1024);
@@ -80,6 +85,17 @@ void BM_SplitPushPopSignalSafe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SplitPushPopSignalSafe);
+
+void BM_WsmultPushPop(benchmark::State& state) {
+  wsmult_deque<int> d(1024);
+  int task = 0;
+  for (auto _ : state) {
+    d.push_bottom(&task);
+    benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WsmultPushPop);
 
 // Exposed round trip: push -> expose -> pop_public (the synchronized slow
 // path the split deque pays only for shared work).
@@ -131,6 +147,21 @@ void BM_AbpSteal(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AbpSteal);
+
+void BM_WsmultSteal(benchmark::State& state) {
+  wsmult_deque<int> d(1 << 12);
+  int task = 0;
+  while (state.KeepRunningBatch(kStealBatch)) {
+    for (int i = 0; i < kStealBatch; ++i) d.push_bottom(&task);
+    for (int i = 0; i < kStealBatch; ++i) {
+      benchmark::DoNotOptimize(d.pop_top());
+    }
+    // Drain walk past the claimed slots winds the indices back.
+    benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WsmultSteal);
 
 // Growth ramp: the whole point of the growable deque is that this cycle
 // no longer throws — time a fill that doubles 64 -> 64Ki in-loop.
@@ -211,6 +242,16 @@ cell chase_lev_fill_drain(const char* mode) {
   });
 }
 
+cell wsmult_fill_drain(const char* mode) {
+  return measure("fill_drain", "wsmult", mode, [&] {
+    wsmult_deque<int> d(start_capacity(mode), nullptr,
+                        deque_growth{false, 0});
+    static int task = 0;
+    for (int i = 0; i < kOps; ++i) d.push_bottom(&task);
+    for (int i = 0; i < kOps; ++i) (void)d.pop_bottom();
+  });
+}
+
 cell split_steal(const char* mode) {
   return measure("steal", "split", mode, [&] {
     split_deque<int> d(start_capacity(mode), nullptr, deque_growth{false, 0});
@@ -244,6 +285,17 @@ cell chase_lev_steal(const char* mode) {
   });
 }
 
+cell wsmult_steal(const char* mode) {
+  return measure("steal", "wsmult", mode, [&] {
+    wsmult_deque<int> d(start_capacity(mode), nullptr,
+                        deque_growth{false, 0});
+    static int task = 0;
+    for (int i = 0; i < kOps; ++i) d.push_bottom(&task);
+    for (int i = 0; i < kOps; ++i) (void)d.pop_top();
+    (void)d.pop_bottom();  // drain walk resets indices
+  });
+}
+
 int run_structural(const char* path) {
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) {
@@ -254,9 +306,11 @@ int run_structural(const char* path) {
       split_fill_drain("prealloc"),     split_fill_drain("grow"),
       abp_fill_drain("prealloc"),       abp_fill_drain("grow"),
       chase_lev_fill_drain("prealloc"), chase_lev_fill_drain("grow"),
+      wsmult_fill_drain("prealloc"),    wsmult_fill_drain("grow"),
       split_steal("prealloc"),          split_steal("grow"),
       abp_steal("prealloc"),            abp_steal("grow"),
       chase_lev_steal("prealloc"),      chase_lev_steal("grow"),
+      wsmult_steal("prealloc"),         wsmult_steal("grow"),
   };
   std::printf("%-12s %-10s %-9s %10s %10s %10s %6s %8s %10s\n", "scenario",
               "deque", "mode", "ops", "fences", "cas", "grows", "hwm",

@@ -26,11 +26,23 @@ for preset in default tsan; do
   ctest --preset "${preset}" -j "${jobs}" "${label_filter[@]}" "$@"
 done
 
-# Perf gate: release microbenches (micro_idle, locality, micro_deque)
-# against the committed BENCH_*.json baselines. Structural invariants are
-# strict (including the growable deques' zero-added-fence/CAS proof);
-# timing gates carry a generous noise margin and skip on tiny hosts.
+# Perf gate: release microbenches (micro_idle, locality, micro_deque,
+# degraded_mode) against the committed BENCH_*.json baselines. Structural
+# invariants are strict (including the growable deques' zero-added-fence/
+# CAS proof and the wsmult deque's 0-fence/0-CAS take+steal); timing
+# gates carry a generous noise margin and skip on tiny hosts.
 echo "== perf gate (release benches vs committed baselines) =="
+missing_baselines=()
+for b in BENCH_idle.json BENCH_locality.json BENCH_deque.json \
+         BENCH_degraded.json; do
+  [[ -f "$b" ]] || missing_baselines+=("$b")
+done
+if (( ${#missing_baselines[@]} )); then
+  echo "error: committed perf baselines missing: ${missing_baselines[*]}" >&2
+  echo "  Regenerate with LCWS_BENCH_JSON=<file> build/bench/<bench> and" >&2
+  echo "  commit the result; perf_gate.py diffs current runs against them." >&2
+  exit 1
+fi
 python3 scripts/perf_gate.py --build-dir build
 
 echo "== preset: asan (hardening suites) =="

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance gate: run the committed microbenches and compare against the
 checked-in baselines (BENCH_idle.json, BENCH_locality.json,
-BENCH_deque.json).
+BENCH_deque.json, BENCH_degraded.json).
 
 Two kinds of checks, in decreasing order of trust:
 
@@ -105,6 +105,10 @@ def key_locality(row):
     return (row.get("benchmark"), row.get("scheduler"), row.get("locality"))
 
 
+def key_degraded(row):
+    return (row.get("scheduler"), row.get("fail_permille"), row.get("corun"))
+
+
 def index(rows, keyfn):
     return {keyfn(r): r for r in rows}
 
@@ -203,6 +207,10 @@ def gate_deque_structural(rows):
       * the split deque's private fill+drain performs no synchronization
         at all — exactly 0 fences and 0 CAS — in both modes (the paper's
         headline property survives growability);
+      * the wsmult deque is fully fence/CAS-free on BOTH scenarios: owner
+        fill+drain AND thief steal must each report exactly 0 fences and
+        0 CAS in both modes (the fig3-style proof that multiplicity
+        removed every fence and CAS from take and steal);
       * 65536 ops from 64 slots is exactly 10 doublings: grow-mode rows
         report grows == 10, prealloc rows report grows == 0.
     """
@@ -229,14 +237,20 @@ def gate_deque_structural(rows):
             if row.get(field) != base.get(field):
                 fail(f"{who}: growth changed the fast-path {field} count: "
                      f"{row.get(field)} vs prealloc {base.get(field)}")
-    for mode in ("prealloc", "grow"):
-        row = by_key.get(("fill_drain", "split", mode))
-        if row is None:
-            fail(f"micro_deque: split fill_drain/{mode} row missing")
-        elif row.get("fences", -1) != 0 or row.get("cas", -1) != 0:
-            fail(f"micro_deque fill_drain/split/{mode}: private work must "
-                 f"be synchronization-free, saw fences={row.get('fences')} "
-                 f"cas={row.get('cas')}")
+    sync_free = [
+        ("fill_drain", "split", "private work"),
+        ("fill_drain", "wsmult", "owner put/take"),
+        ("steal", "wsmult", "thief steal"),
+    ]
+    for scenario, deque, what in sync_free:
+        for mode in ("prealloc", "grow"):
+            row = by_key.get((scenario, deque, mode))
+            if row is None:
+                fail(f"micro_deque: {deque} {scenario}/{mode} row missing")
+            elif row.get("fences", -1) != 0 or row.get("cas", -1) != 0:
+                fail(f"micro_deque {scenario}/{deque}/{mode}: {what} must "
+                     f"be synchronization-free, saw "
+                     f"fences={row.get('fences')} cas={row.get('cas')}")
     note(f"micro_deque structural invariants over {pairs} mode pairs")
 
 
@@ -255,7 +269,8 @@ def gate_vs_baseline(current, baseline, keyfn, ratio, label):
         if row is None:
             missing += 1
             continue
-        for field in ("seconds", "idle_cpu_s", "burst_median_s"):
+        for field in ("seconds", "idle_cpu_s", "burst_median_s",
+                      "makespan_median_s", "recovery_run_s"):
             base_v = base_row.get(field)
             cur_v = row.get(field)
             if base_v is None or cur_v is None or base_v <= 0:
@@ -290,6 +305,7 @@ def main():
     idle_rows = run_bench(os.path.join(bench_dir, "micro_idle"), {})
     locality_rows = run_bench(os.path.join(bench_dir, "locality"), {})
     deque_rows = run_bench(os.path.join(bench_dir, "micro_deque"), {})
+    degraded_rows = run_bench(os.path.join(bench_dir, "degraded_mode"), {})
 
     if idle_rows:
         gate_idle_structural(idle_rows)
@@ -313,6 +329,12 @@ def main():
             load_json_lines(
                 os.path.join(args.baseline_dir, "BENCH_deque.json")),
             key_deque, args.ratio, "BENCH_deque")
+    if degraded_rows:
+        gate_vs_baseline(
+            degraded_rows,
+            load_json_lines(
+                os.path.join(args.baseline_dir, "BENCH_degraded.json")),
+            key_degraded, args.ratio, "BENCH_degraded")
 
     if FAILURES:
         print(f"\nperf gate: {len(FAILURES)} failure(s)")

@@ -27,42 +27,22 @@ decltype(auto) with_scheduler(sched_kind kind, std::size_t num_workers,
                               std::size_t deque_capacity,
                               parking_mode parking, locality_mode locality,
                               Visitor&& visitor) {
+  // Generated from the LCWS_SCHED_KINDS x-macro (policies.h): one case
+  // per policy, so a new scheduler kind needs no edit here.
   switch (kind) {
-    case sched_kind::ws: {
-      ws_scheduler sched(num_workers, deque_capacity, parking, locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
-    case sched_kind::uslcws: {
-      uslcws_scheduler sched(num_workers, deque_capacity, parking,
-                             locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
-    case sched_kind::signal: {
-      signal_scheduler sched(num_workers, deque_capacity, parking,
-                             locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
-    case sched_kind::conservative: {
-      conservative_scheduler sched(num_workers, deque_capacity, parking,
-                                   locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
-    case sched_kind::expose_half: {
-      expose_half_scheduler sched(num_workers, deque_capacity, parking,
-                                  locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
-    case sched_kind::private_deques: {
-      private_deques_scheduler sched(num_workers, deque_capacity, parking,
-                                     locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
-    case sched_kind::lace:
-    default: {
-      lace_scheduler sched(num_workers, deque_capacity, parking, locality);
-      return std::forward<Visitor>(visitor)(sched);
-    }
+#define LCWS_SCHED_KIND_CASE(kind_, policy)                             \
+  case sched_kind::kind_: {                                             \
+    scheduler<policy> sched(num_workers, deque_capacity, parking,       \
+                            locality);                                  \
+    return std::forward<Visitor>(visitor)(sched);                       \
   }
+    LCWS_SCHED_KINDS(LCWS_SCHED_KIND_CASE)
+#undef LCWS_SCHED_KIND_CASE
+  }
+  // Unreachable for in-range kinds; keeps -Wreturn-type quiet for
+  // out-of-range casts.
+  lace_scheduler sched(num_workers, deque_capacity, parking, locality);
+  return std::forward<Visitor>(visitor)(sched);
 }
 
 template <typename Visitor>

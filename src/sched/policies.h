@@ -17,6 +17,7 @@
 #include "deque/job.h"
 #include "deque/private_deque.h"
 #include "deque/split_deque.h"
+#include "deque/wsmult_deque.h"
 
 namespace lcws {
 
@@ -101,6 +102,20 @@ struct expose_half_policy {
   static bool should_signal(const deque_type&) noexcept { return true; }
 };
 
+// WS-mult (DESIGN.md §9): fully fence-free work stealing with
+// multiplicity after Castañeda & Piña (PAPERS.md). Behaviourally in the
+// ws family — a fully concurrent deque, no exposure protocol — but both
+// the owner and thief paths are fence- AND CAS-free; exactly-once
+// execution is restored by the slot-claim exchange inside the deque, so
+// the scheduler sees only exclusively-owned tasks.
+struct wsmult_policy {
+  static constexpr sched_family family = sched_family::ws;
+  static constexpr const char* name = "wsmult";
+  using deque_type = wsmult_deque<job>;
+
+  static job* pop_local(deque_type& d) { return d.pop_bottom(); }
+};
+
 // Private deques with explicit steal-request mailboxes (Acar et al.,
 // PPoPP '13) — the related-work baseline of the paper's Section 2. Not an
 // LCWS variant: included for the comparison benches.
@@ -112,35 +127,45 @@ struct private_deques_policy {
   static job* pop_local(deque_type& d) { return d.pop_bottom(); }
 };
 
+// Single source of truth for the runtime scheduler kinds: one X-macro
+// entry per policy, in the (stable) historical enum order. Everything
+// downstream — the sched_kind enum, to_string, all_sched_kinds, and the
+// with_scheduler dispatch switch — is generated from this list, so adding
+// the ninth policy is a one-line change here (plus its policy struct).
+// X is applied as X(kind_token, policy_type).
+#define LCWS_SCHED_KINDS(X)              \
+  X(ws, ws_policy)                       \
+  X(uslcws, uslcws_policy)               \
+  X(signal, signal_policy)               \
+  X(conservative, conservative_policy)   \
+  X(expose_half, expose_half_policy)     \
+  X(private_deques, private_deques_policy) \
+  X(lace, lace_policy)                   \
+  X(wsmult, wsmult_policy)
+
 // Runtime selector used by harnesses and the type-erased dispatcher.
 enum class sched_kind {
-  ws,
-  uslcws,
-  signal,
-  conservative,
-  expose_half,
-  private_deques,
-  lace,
+#define LCWS_SCHED_KIND_ENUM(kind, policy) kind,
+  LCWS_SCHED_KINDS(LCWS_SCHED_KIND_ENUM)
+#undef LCWS_SCHED_KIND_ENUM
 };
 
 constexpr const char* to_string(sched_kind kind) noexcept {
   switch (kind) {
-    case sched_kind::ws: return "ws";
-    case sched_kind::uslcws: return "uslcws";
-    case sched_kind::signal: return "signal";
-    case sched_kind::conservative: return "conservative";
-    case sched_kind::expose_half: return "expose_half";
-    case sched_kind::private_deques: return "private_deques";
-    case sched_kind::lace: return "lace";
+#define LCWS_SCHED_KIND_NAME(kind_, policy) \
+  case sched_kind::kind_:                   \
+    return policy::name;
+    LCWS_SCHED_KINDS(LCWS_SCHED_KIND_NAME)
+#undef LCWS_SCHED_KIND_NAME
   }
   return "?";
 }
 
 inline constexpr sched_kind all_sched_kinds[] = {
-    sched_kind::ws,           sched_kind::uslcws,
-    sched_kind::signal,       sched_kind::conservative,
-    sched_kind::expose_half,  sched_kind::private_deques,
-    sched_kind::lace};
+#define LCWS_SCHED_KIND_ENTRY(kind, policy) sched_kind::kind,
+    LCWS_SCHED_KINDS(LCWS_SCHED_KIND_ENTRY)
+#undef LCWS_SCHED_KIND_ENTRY
+};
 
 // The four LCWS variants (everything but the baseline).
 inline constexpr sched_kind lcws_sched_kinds[] = {

@@ -1154,5 +1154,6 @@ using conservative_scheduler = scheduler<conservative_policy>;
 using expose_half_scheduler = scheduler<expose_half_policy>;
 using private_deques_scheduler = scheduler<private_deques_policy>;
 using lace_scheduler = scheduler<lace_policy>;
+using wsmult_scheduler = scheduler<wsmult_policy>;
 
 }  // namespace lcws

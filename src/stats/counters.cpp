@@ -18,6 +18,9 @@ op_counters& op_counters::operator+=(const op_counters& other) noexcept {
   steal_attempts += other.steal_attempts;
   steals += other.steals;
   steal_aborts += other.steal_aborts;
+  useful_steals += other.useful_steals;
+  claims_lost += other.claims_lost;
+  dup_extractions += other.dup_extractions;
   steals_near += other.steals_near;
   steals_remote += other.steals_remote;
   for (std::size_t t = 0; t < kStealTierCount; ++t) {
@@ -55,6 +58,9 @@ op_counters operator-(op_counters a, const op_counters& b) noexcept {
   a.steal_attempts -= b.steal_attempts;
   a.steals -= b.steals;
   a.steal_aborts -= b.steal_aborts;
+  a.useful_steals -= b.useful_steals;
+  a.claims_lost -= b.claims_lost;
+  a.dup_extractions -= b.dup_extractions;
   a.steals_near -= b.steals_near;
   a.steals_remote -= b.steals_remote;
   for (std::size_t t = 0; t < kStealTierCount; ++t) {
@@ -105,6 +111,9 @@ std::string format_profile(const profile& p) {
       << "steal_attempts=" << t.steal_attempts << " steals=" << t.steals
       << " aborts=" << t.steal_aborts
       << " private_work_seen=" << t.private_work_seen << "\n"
+      << "useful_steals=" << t.useful_steals
+      << " claims_lost=" << t.claims_lost
+      << " dup_extractions=" << t.dup_extractions << "\n"
       << "steals_near=" << t.steals_near
       << " steals_remote=" << t.steals_remote << " by_tier=["
       << t.steals_by_tier[0] << " " << t.steals_by_tier[1] << " "

@@ -80,6 +80,15 @@ struct op_counters {
   relaxed_counter steal_attempts;  // pop_top calls by thieves
   relaxed_counter steals;          // ... of which returned a task
   relaxed_counter steal_aborts;    // ... of which lost the CAS race
+  // Multiplicity accounting (wsmult only, DESIGN.md §9). The fence-free
+  // deque may extract one index twice; the claim word arbitrates, so
+  //   steals == useful_steals + claims_lost
+  // holds for thief-side extraction, and dup_extractions counts every
+  // arbitration that saw an already-claimed slot (owner or thief side).
+  relaxed_counter useful_steals;   // steals whose claim exchange won
+  relaxed_counter claims_lost;     // steals whose claim exchange lost
+  relaxed_counter dup_extractions; // claim arbitrations (any side) that
+                                   // found the slot already claimed
   // Locality split of successful steals (DESIGN.md §7). Maintained only
   // while the locality layer is on; there the accounting identity
   //   steals == steals_near + steals_remote
@@ -178,6 +187,9 @@ inline void count_pop_public() noexcept {}
 inline void count_steal_attempt() noexcept {}
 inline void count_steal_success() noexcept {}
 inline void count_steal_abort() noexcept {}
+inline void count_useful_steal() noexcept {}
+inline void count_claim_lost() noexcept {}
+inline void count_dup_extraction() noexcept {}
 inline void count_locality_steal(std::size_t tier, bool near) noexcept {
   (void)tier;
   (void)near;
@@ -215,6 +227,13 @@ inline void count_steal_attempt() noexcept {
 }
 inline void count_steal_success() noexcept { ++local_counters().steals; }
 inline void count_steal_abort() noexcept { ++local_counters().steal_aborts; }
+inline void count_useful_steal() noexcept {
+  ++local_counters().useful_steals;
+}
+inline void count_claim_lost() noexcept { ++local_counters().claims_lost; }
+inline void count_dup_extraction() noexcept {
+  ++local_counters().dup_extractions;
+}
 // One successful steal classified by the victim's distance tier; `near`
 // is tier <= llc (the thief shares a cache with the victim).
 inline void count_locality_steal(std::size_t tier, bool near) noexcept {

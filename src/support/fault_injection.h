@@ -36,6 +36,11 @@
 //                  between copying slots and publishing the new buffer,
 //                  widening the thief-versus-growth race the reclamation
 //                  scheme must survive
+//   wsmult_dup     wsmult_deque take/steal: the extractor stalls between
+//                  reading the task pointer and writing its index
+//                  advancement, widening the multiplicity window so
+//                  duplicate extractions (normally vanishingly rare)
+//                  actually happen and the claim words must resolve them
 #pragma once
 
 #include <cstdint>
@@ -49,6 +54,7 @@ enum class site : unsigned {
   signal_send,
   spurious_wake,
   deque_grow,
+  wsmult_dup,
   num_sites,  // sentinel
 };
 

@@ -1,5 +1,6 @@
-// Unit, stress and model-based property tests for the three work-stealing
-// deques (ABP baseline, Chase-Lev, and the paper's split deque).
+// Unit, stress and model-based property tests for the work-stealing
+// deques (ABP baseline, Chase-Lev, the paper's split deque, and the
+// fence-free wsmult deque).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +13,7 @@
 #include "deque/abp_deque.h"
 #include "deque/chase_lev_deque.h"
 #include "deque/split_deque.h"
+#include "deque/wsmult_deque.h"
 #include "support/rng.h"
 
 namespace lcws {
@@ -1039,6 +1041,191 @@ TEST(ChaseLevDequeStress, ExactlyOnceUnderConcurrentStealsAndGrowth) {
   }
 
   xoshiro256 rng(7);
+  int pushed = 0;
+  while (consumed.load(std::memory_order_relaxed) < total) {
+    if (pushed < total && rng.bounded(3) != 0) {
+      d.push_bottom(&arena[static_cast<std::size_t>(pushed)]);
+      ++pushed;
+    } else {
+      if (int* t = d.pop_bottom()) {
+        taken[static_cast<std::size_t>(*t)].fetch_add(1);
+        consumed.fetch_add(1);
+      } else if (pushed == total) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  EXPECT_GT(d.grow_count(), 0u) << "stress never grew; raise total";
+  for (int i = 0; i < total; ++i) {
+    EXPECT_EQ(taken[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WS-mult deque (DESIGN.md §9): fence- and CAS-free with multiplicity
+// ---------------------------------------------------------------------------
+
+TEST(WsmultDeque, EmptyPops) {
+  wsmult_deque<int> d(64);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.pop_top().status, steal_status::empty);
+}
+
+TEST(WsmultDeque, LifoForOwner) {
+  auto arena = make_arena(5);
+  wsmult_deque<int> d(64);
+  for (auto& x : arena) d.push_bottom(&x);
+  for (int i = 4; i >= 0; --i) EXPECT_EQ(d.pop_bottom(), &arena[i]);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(WsmultDeque, FifoForThieves) {
+  auto arena = make_arena(5);
+  wsmult_deque<int> d(64);
+  for (auto& x : arena) d.push_bottom(&x);
+  for (int i = 0; i < 5; ++i) {
+    const auto r = d.pop_top();
+    ASSERT_EQ(r.status, steal_status::stolen);
+    EXPECT_EQ(r.task, &arena[i]);
+  }
+  EXPECT_EQ(d.pop_top().status, steal_status::empty);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(WsmultDeque, OwnerAndThiefMeetInTheMiddle) {
+  auto arena = make_arena(6);
+  wsmult_deque<int> d(64);
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_EQ(d.pop_top().task, &arena[0]);
+  EXPECT_EQ(d.pop_bottom(), &arena[5]);
+  EXPECT_EQ(d.pop_top().task, &arena[1]);
+  EXPECT_EQ(d.pop_bottom(), &arena[4]);
+  EXPECT_EQ(d.pop_bottom(), &arena[3]);
+  EXPECT_EQ(d.pop_bottom(), &arena[2]);
+  // The owner's drain walk ends on the two thief-claimed slots.
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.pop_top().status, steal_status::empty);
+}
+
+// Indices are monotonic within a generation; the owner's drain walk must
+// wind the window back so a tiny capacity supports unbounded reuse, with
+// steals working again after every reset.
+TEST(WsmultDeque, ReuseAfterDrainResetWithTinyCapacity) {
+  auto arena = make_arena(4);
+  wsmult_deque<int> d(4);
+  for (int round = 0; round < 100; ++round) {
+    for (auto& x : arena) d.push_bottom(&x);
+    const auto r = d.pop_top();
+    ASSERT_EQ(r.status, steal_status::stolen);
+    EXPECT_EQ(r.task, &arena[0]) << "round " << round;
+    for (int i = 0; i < 3; ++i) ASSERT_NE(d.pop_bottom(), nullptr);
+    ASSERT_EQ(d.pop_bottom(), nullptr) << "round " << round;
+  }
+  EXPECT_EQ(d.grow_count(), 0u);
+  EXPECT_GT(d.reset_count(), 0u);
+}
+
+TEST(WsmultDeque, SizeEstimate) {
+  auto arena = make_arena(3);
+  wsmult_deque<int> d(64);
+  EXPECT_EQ(d.size_estimate(), 0);
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_EQ(d.size_estimate(), 3);
+  (void)d.pop_top();
+  EXPECT_EQ(d.size_estimate(), 2);
+}
+
+TEST(WsmultDeque, GrowthPreservesContentsAndOrder) {
+  const int n = 200;
+  auto arena = make_arena(n);
+  wsmult_deque<int> d(8, nullptr, grow_mode);
+  for (auto& x : arena) d.push_bottom(&x);
+  EXPECT_GT(d.grow_count(), 0u);
+  EXPECT_GE(d.capacity(), static_cast<std::size_t>(n));
+  // FIFO from the top across every growth boundary.
+  for (int i = 0; i < n / 2; ++i) {
+    const auto r = d.pop_top();
+    ASSERT_EQ(r.status, steal_status::stolen);
+    EXPECT_EQ(r.task, &arena[i]);
+  }
+  // LIFO from the bottom for the rest.
+  for (int i = n - 1; i >= n / 2; --i) EXPECT_EQ(d.pop_bottom(), &arena[i]);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(WsmultDeque, FixedModeOverflowThrowsWithoutCorruption) {
+  auto arena = make_arena(5);
+  wsmult_deque<int> d(4, nullptr, fixed_mode);
+  for (int i = 0; i < 4; ++i) d.push_bottom(&arena[i]);
+  EXPECT_THROW(d.push_bottom(&arena[4]), deque_overflow_error);
+  for (int i = 3; i >= 0; --i) EXPECT_EQ(d.pop_bottom(), &arena[i]);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(WsmultDeque, RetiredBuffersAreFreedAtDrainPointsOnceQuiesced) {
+  reclaim_domain dom;
+  const std::size_t reader = dom.register_reader();
+  const int n = 200;
+  auto arena = make_arena(n);
+  wsmult_deque<int> d(8, &dom, grow_mode);
+  for (auto& x : arena) d.push_bottom(&x);
+  const std::uint64_t grown = d.grow_count();
+  ASSERT_GT(grown, 0u);
+  EXPECT_EQ(d.retired_buffers(), grown);  // reader silent: nothing freed
+  dom.quiesce(reader);
+  // The drain walk's empty return is a collection point.
+  for (int i = 0; i < n; ++i) ASSERT_NE(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.retired_buffers(), 0u);
+}
+
+TEST(WsmultDequeStress, ExactlyOnceUnderConcurrentSteals) {
+  wsmult_deque<int> d(1 << 12);
+  exactly_once_stress(d, 2000, 3,
+                      [](wsmult_deque<int>& dq) { return dq.pop_bottom(); });
+}
+
+// The §9 version of the growth race: thieves claim through buffers the
+// owner is concurrently replacing, so the copy's slot exchanges must hand
+// every task to exactly one party, and quiescence must drain the retired
+// list.
+TEST(WsmultDequeStress, ExactlyOnceUnderConcurrentStealsAndGrowth) {
+  reclaim_domain dom;
+  wsmult_deque<int> d(16, &dom, grow_mode);
+  const int total = 6000;
+  const int thieves = 3;
+  std::vector<std::atomic<int>> taken(static_cast<std::size_t>(total));
+  for (auto& t : taken) t.store(0);
+  auto arena = make_arena(total);
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      const std::size_t reader = dom.register_reader();
+      dom.quiesce(reader);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto r = d.pop_top();
+        if (r.status == steal_status::stolen) {
+          taken[static_cast<std::size_t>(*r.task)].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+        dom.quiesce(reader);
+      }
+      dom.quiesce(reader);
+    });
+  }
+  while (dom.reader_count() < static_cast<std::size_t>(thieves)) {
+    std::this_thread::yield();
+  }
+
+  xoshiro256 rng(23);
   int pushed = 0;
   while (consumed.load(std::memory_order_relaxed) < total) {
     if (pushed < total && rng.bounded(3) != 0) {

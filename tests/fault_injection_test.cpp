@@ -15,9 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include "deque/wsmult_deque.h"
 #include "parallel/parallel_for.h"
 #include "sched/dispatch.h"
 #include "sched/scheduler.h"
+#include "stats/counters.h"
 #include "support/fault_injection.h"
 
 namespace lcws {
@@ -123,9 +125,22 @@ TEST_P(FaultSweep, CompletesCorrectlyWithBalancedStatsUnderFaults) {
       // job executed exactly once (re-pushes from Lace unexposure are the
       // only double-counted pushes), and no counter went negative.
       const auto t = sched.profile().totals;
-      EXPECT_EQ(t.pushes.get(), t.pops_private.get() + t.pops_public.get() +
-                                    t.steals.get())
-          << to_string(kind) << " seed " << seed;
+      if (kind == sched_kind::wsmult) {
+        // Multiplicity accounting (DESIGN.md §9): a wsmult "steal" is any
+        // claim arbitration on an index the thief's snapshot said was
+        // occupied, so exactly-once consumption runs through the claim
+        // winners and the claim identity must balance the rest.
+        EXPECT_EQ(t.steals.get(),
+                  t.useful_steals.get() + t.claims_lost.get())
+            << to_string(kind) << " seed " << seed;
+        EXPECT_EQ(t.pushes.get(),
+                  t.pops_private.get() + t.useful_steals.get())
+            << to_string(kind) << " seed " << seed;
+      } else {
+        EXPECT_EQ(t.pushes.get(), t.pops_private.get() +
+                                      t.pops_public.get() + t.steals.get())
+            << to_string(kind) << " seed " << seed;
+      }
       EXPECT_EQ(t.tasks_executed.get(), t.pushes.get() - t.unexposures.get())
           << to_string(kind) << " seed " << seed;
       EXPECT_GE(t.steal_attempts.get(), t.steals.get() + t.steal_aborts.get());
@@ -197,6 +212,77 @@ TEST(FaultDirected, AllStealsFailStillCompletes) {
   fi::disable();
 }
 
+// Directed test: the wsmult_dup site stalls every extractor between its
+// index snapshot and its claim, and makes winning thieves "forget" to
+// advance top — the stalled-thief schedule in which the fence-free deque
+// genuinely extracts indices more than once. The slot-claim exchange must
+// keep execution exactly-once: correct results, the claim identity, and
+// the push balance routed through claim winners. Multiplicity must be
+// *observable*: any successful steal leaves a claimed slot in the owner's
+// downward walk, so dup_extractions moves whenever steals do.
+TEST(FaultDirected, WsmultDuplicateExtractionResolvedByClaims) {
+  for (int seed = 0; seed < 16; ++seed) {
+    fi::configure(static_cast<std::uint64_t>(seed) * 0x6c8e9cf5ULL + 5,
+                  /*rate_permille=*/1000,
+                  fi::site_bit(fi::site::wsmult_dup));
+    wsmult_scheduler sched(4);
+    sched.reset_counters();
+    EXPECT_EQ(sched.run([&] { return fib(sched, 17); }), 1597u)
+        << "seed " << seed;
+    const auto t = sched.profile().totals;
+    EXPECT_EQ(t.steals.get(), t.useful_steals.get() + t.claims_lost.get())
+        << "seed " << seed;
+    EXPECT_EQ(t.pushes.get(), t.pops_private.get() + t.useful_steals.get())
+        << "seed " << seed;
+    EXPECT_EQ(t.tasks_executed.get(), t.pushes.get()) << "seed " << seed;
+    if (t.useful_steals.get() > 0) {
+      EXPECT_GT(t.dup_extractions.get(), 0u) << "seed " << seed;
+    }
+    fi::disable();
+  }
+}
+
+// Deterministic single-threaded proof of the claim identity: with the
+// wsmult_dup site at 100% a winning pop_top never advances top, so the
+// very next pop_top re-extracts the same index and must lose the slot
+// claim — every duplicate is scripted, so the counters are exact. Also
+// pins the headline property the perf gate enforces structurally: the
+// whole sequence runs zero fences and zero CAS.
+TEST(FaultDirected, WsmultClaimBitPreservesStealIdentity) {
+  fi::configure(13, /*rate_permille=*/1000,
+                fi::site_bit(fi::site::wsmult_dup));
+  const stats::op_counters before = stats::local_counters();
+  wsmult_deque<int> d(64);
+  int a = 0, b = 1, c = 2;
+  d.push_bottom(&a);
+  d.push_bottom(&b);
+  d.push_bottom(&c);
+  const auto r1 = d.pop_top();  // wins index 0, top store suppressed
+  ASSERT_EQ(r1.status, steal_status::stolen);
+  EXPECT_EQ(r1.task, &a);
+  const auto r2 = d.pop_top();  // duplicate extraction of index 0: loses
+  EXPECT_EQ(r2.status, steal_status::aborted);
+  const auto r3 = d.pop_top();  // healed to index 1: wins
+  ASSERT_EQ(r3.status, steal_status::stolen);
+  EXPECT_EQ(r3.task, &b);
+  const auto r4 = d.pop_top();  // duplicate of index 1: loses
+  EXPECT_EQ(r4.status, steal_status::aborted);
+  const auto r5 = d.pop_top();  // index 2: wins
+  ASSERT_EQ(r5.status, steal_status::stolen);
+  EXPECT_EQ(r5.task, &c);
+  const stats::op_counters delta = stats::local_counters() - before;
+  EXPECT_EQ(delta.steal_attempts.get(), 5u);
+  EXPECT_EQ(delta.steals.get(), 5u);
+  EXPECT_EQ(delta.useful_steals.get(), 3u);
+  EXPECT_EQ(delta.claims_lost.get(), 2u);
+  EXPECT_EQ(delta.steals.get(),
+            delta.useful_steals.get() + delta.claims_lost.get());
+  EXPECT_EQ(delta.dup_extractions.get(), 2u);
+  EXPECT_EQ(delta.fences.get(), 0u);
+  EXPECT_EQ(delta.cas.get(), 0u);
+  fi::disable();
+}
+
 // A left-leaning spine: each level forks one trivial right child and
 // recurses down the left, so the owner's private deque holds ~depth jobs
 // at the deepest point. With a tiny starting capacity this forces many
@@ -226,9 +312,18 @@ TEST_P(FaultSweep, DequeGrowthRacingThievesCompletesExactlyOnce) {
       const std::uint64_t v = sched.run([&] { return deep_spine(sched, 1200); });
       EXPECT_EQ(v, 1201u) << to_string(kind) << " seed " << seed;
       const auto t = sched.profile().totals;
-      EXPECT_EQ(t.pushes.get(), t.pops_private.get() + t.pops_public.get() +
-                                    t.steals.get())
-          << to_string(kind) << " seed " << seed;
+      if (kind == sched_kind::wsmult) {
+        EXPECT_EQ(t.steals.get(),
+                  t.useful_steals.get() + t.claims_lost.get())
+            << to_string(kind) << " seed " << seed;
+        EXPECT_EQ(t.pushes.get(),
+                  t.pops_private.get() + t.useful_steals.get())
+            << to_string(kind) << " seed " << seed;
+      } else {
+        EXPECT_EQ(t.pushes.get(), t.pops_private.get() +
+                                      t.pops_public.get() + t.steals.get())
+            << to_string(kind) << " seed " << seed;
+      }
       EXPECT_EQ(t.tasks_executed.get(), t.pushes.get() - t.unexposures.get())
           << to_string(kind) << " seed " << seed;
       if (kind == sched_kind::private_deques) {
