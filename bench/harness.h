@@ -15,7 +15,11 @@
 //                      (benchmark,instance,procs,scheduler,seconds,fences,
 //                      cas,steals,steal_attempts,exposures,unexposures,
 //                      signals,parks,wakes,idle_ns,steals_near,
-//                      steals_remote) for offline plotting
+//                      steals_remote,hw,cycles,instructions,cache_refs,
+//                      cache_misses,task_clock_ns) for offline plotting.
+//                      `hw` is the perf_counters availability marker
+//                      ("available", "partial:...", "unavailable:..."); the
+//                      numeric hw fields are 0 unless it says otherwise
 //   LCWS_BENCH_JSON    file path: append one JSON object per measured cell
 //                      (JSON Lines; same fields as the CSV, named) for
 //                      offline plotting without a CSV header convention
@@ -139,10 +143,11 @@ inline void maybe_write_csv(const std::vector<cell>& cells) {
   }
   for (const auto& c : cells) {
     const auto& t = c.result.profile.totals;
+    const auto& hw = c.result.profile.hw;
     std::fprintf(
         f,
         "%s,%s,%zu,%s,%.9f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu\n",
+        "%llu,%llu,%s,%llu,%llu,%llu,%llu,%llu\n",
         c.cfg.benchmark.c_str(), c.cfg.instance.c_str(), c.procs,
         to_string(c.kind), c.result.seconds,
         static_cast<unsigned long long>(t.fences),
@@ -156,7 +161,13 @@ inline void maybe_write_csv(const std::vector<cell>& cells) {
         static_cast<unsigned long long>(t.wakes),
         static_cast<unsigned long long>(t.idle_ns),
         static_cast<unsigned long long>(t.steals_near),
-        static_cast<unsigned long long>(t.steals_remote));
+        static_cast<unsigned long long>(t.steals_remote),
+        hw.status.c_str(),
+        static_cast<unsigned long long>(hw.cycles),
+        static_cast<unsigned long long>(hw.instructions),
+        static_cast<unsigned long long>(hw.cache_references),
+        static_cast<unsigned long long>(hw.cache_misses),
+        static_cast<unsigned long long>(hw.task_clock_ns));
   }
   std::fclose(f);
 }
@@ -175,6 +186,7 @@ inline void maybe_write_json(const std::vector<cell>& cells) {
   }
   for (const auto& c : cells) {
     const auto& t = c.result.profile.totals;
+    const auto& hw = c.result.profile.hw;
     std::fprintf(
         f,
         "{\"benchmark\":\"%s\",\"instance\":\"%s\",\"procs\":%zu,"
@@ -182,7 +194,10 @@ inline void maybe_write_json(const std::vector<cell>& cells) {
         "\"cas\":%llu,\"steals\":%llu,\"steal_attempts\":%llu,"
         "\"exposures\":%llu,\"unexposures\":%llu,\"signals\":%llu,"
         "\"parks\":%llu,\"wakes\":%llu,\"idle_ns\":%llu,"
-        "\"steals_near\":%llu,\"steals_remote\":%llu}\n",
+        "\"steals_near\":%llu,\"steals_remote\":%llu,"
+        "\"hw\":\"%s\",\"cycles\":%llu,\"instructions\":%llu,"
+        "\"cache_refs\":%llu,\"cache_misses\":%llu,"
+        "\"task_clock_ns\":%llu}\n",
         c.cfg.benchmark.c_str(), c.cfg.instance.c_str(), c.procs,
         to_string(c.kind), c.result.seconds,
         static_cast<unsigned long long>(t.fences),
@@ -196,7 +211,13 @@ inline void maybe_write_json(const std::vector<cell>& cells) {
         static_cast<unsigned long long>(t.wakes),
         static_cast<unsigned long long>(t.idle_ns),
         static_cast<unsigned long long>(t.steals_near),
-        static_cast<unsigned long long>(t.steals_remote));
+        static_cast<unsigned long long>(t.steals_remote),
+        hw.status.c_str(),
+        static_cast<unsigned long long>(hw.cycles),
+        static_cast<unsigned long long>(hw.instructions),
+        static_cast<unsigned long long>(hw.cache_references),
+        static_cast<unsigned long long>(hw.cache_misses),
+        static_cast<unsigned long long>(hw.task_clock_ns));
   }
   std::fclose(f);
 }

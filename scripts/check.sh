@@ -34,7 +34,7 @@ done
 echo "== perf gate (release benches vs committed baselines) =="
 missing_baselines=()
 for b in BENCH_idle.json BENCH_locality.json BENCH_deque.json \
-         BENCH_degraded.json; do
+         BENCH_degraded.json BENCH_fig3.json BENCH_fig8.json; do
   [[ -f "$b" ]] || missing_baselines+=("$b")
 done
 if (( ${#missing_baselines[@]} )); then
@@ -45,9 +45,19 @@ if (( ${#missing_baselines[@]} )); then
 fi
 python3 scripts/perf_gate.py --build-dir build
 
+# Tracing smoke: run a real bench with LCWS_TRACE set and semantically
+# validate the emitted Chrome trace (ordering, B/E balance, steal pairing)
+# with trace_summary.py --check — the end-to-end path a Perfetto user
+# takes, not just the unit-level trace_test coverage.
+echo "== tracing smoke (LCWS_TRACE end-to-end) =="
+rm -f build/trace_smoke.json
+LCWS_TRACE=build/trace_smoke.json LCWS_TRACE_RING=65536 \
+  build/bench/micro_idle > /dev/null
+python3 scripts/trace_summary.py build/trace_smoke.json --check
+
 echo "== preset: asan (hardening suites) =="
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}" \
-  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque|[Ss]hutdown|[Hh]ealth|[Dd]egrad|DumpOnExit|StealThrottle|Backoff)' \
+  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque|[Ss]hutdown|[Hh]ealth|[Dd]egrad|DumpOnExit|StealThrottle|Backoff|[Tt]race|PerfCounters)' \
   "${label_filter[@]}" "$@"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance gate: run the committed microbenches and compare against the
 checked-in baselines (BENCH_idle.json, BENCH_locality.json,
-BENCH_deque.json, BENCH_degraded.json).
+BENCH_deque.json, BENCH_degraded.json, BENCH_fig3.json, BENCH_fig8.json).
 
 Two kinds of checks, in decreasing order of trust:
 
@@ -107,6 +107,23 @@ def key_locality(row):
 
 def key_degraded(row):
     return (row.get("scheduler"), row.get("fail_permille"), row.get("corun"))
+
+
+def key_fig(row):
+    return (row.get("benchmark"), row.get("instance"), row.get("procs"),
+            row.get("scheduler"))
+
+
+# The fig3/fig8 harnesses sweep the full PBBS matrix by default — far too
+# much for a gate. This pinned environment keeps the matrix small and
+# DETERMINISTIC (same configs, procs and rounds every run), so the
+# committed BENCH_fig3/BENCH_fig8 baselines key-match exactly.
+FIG_GATE_ENV = {
+    "LCWS_BENCH_MAXCFG": "4",
+    "LCWS_BENCH_PROCS": "2,4",
+    "LCWS_BENCH_ROUNDS": "1",
+    "LCWS_BENCH_SCALE": "0.01",
+}
 
 
 def index(rows, keyfn):
@@ -254,6 +271,89 @@ def gate_deque_structural(rows):
     note(f"micro_deque structural invariants over {pairs} mode pairs")
 
 
+def gate_fig_fences(rows, light, label, floor=40):
+    """The paper's headline property as a structural gate: on the same
+    benchmark configuration, the synchronization-light scheduler must
+    execute strictly fewer memory fences than classic WS (fig3: uslcws,
+    fig8: signal). Cells where WS itself barely fenced (< floor) carry no
+    signal and are skipped. The floor sits well under the ws counts the
+    pinned FIG_GATE_ENV matrix produces (46+ even at gate scale) and well
+    over the residual fences the light schedulers keep (0-2)."""
+    by_key = index(rows, key_fig)
+    checked = 0
+    for (bench, inst, procs, sched), row in by_key.items():
+        if sched != light:
+            continue
+        base = by_key.get((bench, inst, procs, "ws"))
+        if base is None:
+            fail(f"{label} {bench}/{inst} P={procs}: WS twin row missing")
+            continue
+        if base.get("fences", 0) < floor:
+            continue
+        checked += 1
+        if row.get("fences", 0) >= base["fences"]:
+            fail(
+                f"{label} {bench}/{inst} P={procs}: {light} fences "
+                f"{row.get('fences')} not below ws {base['fences']}"
+            )
+    if checked:
+        note(f"{label}: {light} < ws fences over {checked} configs")
+    else:
+        skip(f"{label}: no config reached the {floor}-fence floor")
+
+
+def gate_hw_marker(rows, label):
+    """perf_counters contract: every cell carries an availability marker,
+    and the numbers agree with it — real cycle counts where the kernel
+    permitted the PMU, hard zeros behind an 'unavailable:' marker where it
+    didn't (never zeros masquerading as measurements, never measurements
+    behind an unavailable marker)."""
+    checked = 0
+    for r in rows:
+        who = (f"{label} {r.get('benchmark')}/{r.get('instance')} "
+               f"P={r.get('procs')} {r.get('scheduler')}")
+        hw = r.get("hw")
+        if not hw:
+            fail(f"{who}: hw availability marker missing")
+            continue
+        known = ("available", "partial:", "unavailable:")
+        if not any(hw == k or hw.startswith(k) for k in known):
+            fail(f"{who}: unknown hw marker {hw!r}")
+            continue
+        checked += 1
+        if hw == "available" and r.get("cycles", 0) <= 0:
+            fail(f"{who}: hw says available but cycles == 0")
+        if hw.startswith("unavailable") and r.get("cycles", 0) != 0:
+            fail(f"{who}: hw says {hw} but cycles == {r.get('cycles')}")
+    note(f"{label}: hw marker consistent over {checked} cells")
+
+
+def gate_deque_bit_identity(rows, baseline):
+    """Acceptance gate for the observability layer: with LCWS_TRACE unset,
+    micro_deque's structural counters must be BIT-IDENTICAL to the
+    committed baseline — tracing off means not one extra fence, CAS, grow
+    or high-water-mark movement anywhere in the deque fast paths."""
+    if not baseline:
+        skip("deque bit-identity: no committed baseline rows")
+        return
+    cur = index(rows, key_deque)
+    checked = 0
+    for key, base in index(baseline, key_deque).items():
+        row = cur.get(key)
+        if row is None:
+            fail(f"micro_deque {key}: baseline row missing from current run")
+            continue
+        for field in ("ops", "fences", "cas", "grows", "hwm"):
+            if row.get(field) != base.get(field):
+                fail(
+                    f"micro_deque {key}: {field} drifted from committed "
+                    f"baseline: {row.get(field)} vs {base.get(field)}"
+                )
+            else:
+                checked += 1
+    note(f"deque bit-identity: {checked} counter fields exactly equal")
+
+
 def gate_vs_baseline(current, baseline, keyfn, ratio, label):
     """Order-of-magnitude regression check against the committed numbers.
     Baselines were recorded on a different machine: only a blown ratio
@@ -306,6 +406,10 @@ def main():
     locality_rows = run_bench(os.path.join(bench_dir, "locality"), {})
     deque_rows = run_bench(os.path.join(bench_dir, "micro_deque"), {})
     degraded_rows = run_bench(os.path.join(bench_dir, "degraded_mode"), {})
+    fig3_rows = run_bench(
+        os.path.join(bench_dir, "fig3_uslcws_profile"), FIG_GATE_ENV)
+    fig8_rows = run_bench(
+        os.path.join(bench_dir, "fig8_signal_profile"), FIG_GATE_ENV)
 
     if idle_rows:
         gate_idle_structural(idle_rows)
@@ -324,6 +428,10 @@ def main():
             key_locality, args.ratio, "BENCH_locality")
     if deque_rows:
         gate_deque_structural(deque_rows)
+        gate_deque_bit_identity(
+            deque_rows,
+            load_json_lines(
+                os.path.join(args.baseline_dir, "BENCH_deque.json")))
         gate_vs_baseline(
             deque_rows,
             load_json_lines(
@@ -335,6 +443,22 @@ def main():
             load_json_lines(
                 os.path.join(args.baseline_dir, "BENCH_degraded.json")),
             key_degraded, args.ratio, "BENCH_degraded")
+    if fig3_rows:
+        gate_fig_fences(fig3_rows, "uslcws", "fig3")
+        gate_hw_marker(fig3_rows, "fig3")
+        gate_vs_baseline(
+            fig3_rows,
+            load_json_lines(os.path.join(args.baseline_dir,
+                                         "BENCH_fig3.json")),
+            key_fig, args.ratio, "BENCH_fig3")
+    if fig8_rows:
+        gate_fig_fences(fig8_rows, "signal", "fig8")
+        gate_hw_marker(fig8_rows, "fig8")
+        gate_vs_baseline(
+            fig8_rows,
+            load_json_lines(os.path.join(args.baseline_dir,
+                                         "BENCH_fig8.json")),
+            key_fig, args.ratio, "BENCH_fig8")
 
     if FAILURES:
         print(f"\nperf gate: {len(FAILURES)} failure(s)")

@@ -28,6 +28,7 @@
 #include "deque/deque_common.h"
 #include "deque/reclaim.h"
 #include "stats/counters.h"
+#include "stats/trace.h"
 #include "support/align.h"
 #include "support/fault_injection.h"
 
@@ -219,6 +220,7 @@ class abp_deque {
     grows_.store(grows_.load(std::memory_order_relaxed) + 1,
                  std::memory_order_relaxed);
     stats::count_deque_grow();
+    trace::emit(trace::event::deque_grow, nsize);
     return nb;
   }
 

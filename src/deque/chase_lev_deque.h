@@ -34,6 +34,7 @@
 #include "deque/deque_common.h"
 #include "deque/reclaim.h"
 #include "stats/counters.h"
+#include "stats/trace.h"
 #include "support/align.h"
 #include "support/fault_injection.h"
 
@@ -209,6 +210,7 @@ class chase_lev_deque {
     grows_.store(grows_.load(std::memory_order_relaxed) + 1,
                  std::memory_order_relaxed);
     stats::count_deque_grow();
+    trace::emit(trace::event::deque_grow, nsize);
     return nb;
   }
 

@@ -114,6 +114,8 @@
 #include "sched/signal_support.h"
 #include "sched/victim_select.h"
 #include "stats/counters.h"
+#include "stats/perf_counters.h"
+#include "stats/trace.h"
 #include "support/align.h"
 #include "support/backoff.h"
 #include "support/fault_injection.h"
@@ -156,6 +158,11 @@ class scheduler {
           return s == nullptr ? std::string() : std::string(s);
         }()),
         owner_(std::this_thread::get_id()) {
+    // Observability (DESIGN.md §10): per-worker trace rings (LCWS_TRACE)
+    // and hardware-counter slots, both sized before any worker runs so the
+    // hot paths never allocate.
+    tracer_.init(nworkers_, trace::config::from_env());
+    hw_slots_ = std::vector<cache_aligned<hw_slot>>(nworkers_);
     workers_.reserve(nworkers_);
     for (std::size_t i = 0; i < nworkers_; ++i) {
       workers_.push_back(std::make_unique<worker_state>(
@@ -220,9 +227,11 @@ class scheduler {
     idle_cv_.notify_all();
     lot_.unpark_all();  // parked workers must observe shutdown_
     for (auto& t : threads_) t.join();
+    finalize_worker_hw(0);
     // Post-mortem knob: all workers have joined, so the state below is the
     // pool's final quiescent snapshot.
     if (!dump_on_exit_.empty()) emit_exit_dump();
+    if (tracer_.enabled()) tracer_.write_chrome_json(Policy::name);
     unregister_worker();
     // Un-pin the constructing thread: it outlives this pool.
     restore_this_thread_affinity(saved_affinity_);
@@ -260,15 +269,22 @@ class scheduler {
     if (dog_) dog_->arm();
     // The guard also fires when f throws: every pardo drains its sibling
     // before rethrowing, so by the time an exception reaches here no task
-    // of this computation is in flight and deactivating is safe.
+    // of this computation is in flight and deactivating is safe. It is
+    // also the trace/hw flush point: worker 0 samples its counters and the
+    // rings are rewritten to LCWS_TRACE on every top-level run() exit.
     struct deactivate {
-      std::atomic<bool>& flag;
-      watchdog* dog;
+      scheduler* pool;
       ~deactivate() {
-        if (dog != nullptr) dog->disarm();
-        flag.store(false, std::memory_order_release);
+        if (pool->dog_ != nullptr) pool->dog_->disarm();
+        trace::emit(trace::event::run_end);
+        pool->active_.store(false, std::memory_order_release);
+        pool->sample_hw(0);
+        if (pool->tracer_.enabled()) {
+          pool->tracer_.write_chrome_json(Policy::name);
+        }
       }
-    } guard{active_, dog_.get()};
+    } guard{this};
+    trace::emit(trace::event::run_begin);
     return std::forward<F>(f)();
   }
 
@@ -348,7 +364,59 @@ class scheduler {
 
   // Aggregated synchronization-operation profile. Only meaningful while no
   // computation is running.
-  stats::profile profile() const { return stats::aggregate(counters_); }
+  stats::profile profile() const {
+    stats::profile p = stats::aggregate(counters_);
+    p.hw = collect_hw();
+    return p;
+  }
+
+  // Pool-wide hardware-counter totals (perf_counters.h). Workers publish
+  // cumulative readings into their slot at cold boundaries (park entry,
+  // between-runs idle, run exit, shutdown); this sums the latest samples.
+  stats::hw_profile collect_hw() const {
+    stats::hw_profile hw;
+    if (!hw_enabled_) return hw;  // status stays "unavailable:off"
+    int best = 0;
+    int err = 0;
+    for (std::size_t i = 0; i < nworkers_; ++i) {
+      const hw_slot& s = hw_slots_[i].get();
+      hw.cycles += s.cycles.get();
+      hw.instructions += s.instructions.get();
+      hw.cache_references += s.cache_references.get();
+      hw.cache_misses += s.cache_misses.get();
+      hw.task_clock_ns += s.task_clock_ns.get();
+      const int code = s.state.load(std::memory_order_relaxed);
+      if (code > best) best = code;
+      const int e = s.err.load(std::memory_order_relaxed);
+      if (e != 0 && err == 0) err = e;
+    }
+    switch (best) {
+      case kHwFull:
+        hw.available = true;
+        hw.status = "available";
+        break;
+      case kHwCpuOnly:
+        hw.available = true;
+        hw.status = "partial:no-cache-counters";
+        break;
+      case kHwClockOnly:
+        hw.available = true;
+        hw.status =
+            std::string("partial:task-clock-only:") + stats::errno_name(err);
+        break;
+      default:
+        hw.status = std::string("unavailable:") +
+                    (err != 0 ? stats::errno_name(err) : "not-sampled");
+        break;
+    }
+    return hw;
+  }
+
+  // Whether per-worker perf_event sampling was requested (LCWS_PERF).
+  bool hw_counters_enabled() const noexcept { return hw_enabled_; }
+
+  // The trace layer (test/diagnostic; enabled iff LCWS_TRACE was set).
+  const trace::tracer& tracer() const noexcept { return tracer_; }
 
   // Zeroes all counters (call while no computation is running).
   void reset_counters() noexcept {
@@ -407,7 +475,19 @@ class scheduler {
       if (health_.enabled()) {
         out << " health{" << health_.debug_string(i) << "}";
       }
+      if (hw_enabled_) {
+        const hw_slot& s = hw_slots_[i].get();
+        out << " hw{state=" << s.state.load(std::memory_order_relaxed)
+            << " err=" << stats::errno_name(s.err.load(std::memory_order_relaxed))
+            << " cycles=" << s.cycles.get()
+            << " cache_misses=" << s.cache_misses.get() << "}";
+      }
       out << "\n";
+      if (tracer_.enabled()) {
+        out << "    trace tail (newest last, of "
+            << tracer_.worker_ring(i)->emitted() << " events):\n"
+            << tracer_.tail_string(i, 16);
+      }
     }
     return out.str();
   }
@@ -492,6 +572,24 @@ class scheduler {
     health::steal_throttle throttle;  // §6 steal budget; owner-only
     victim_selector victims;   // §7 distance-ordered table; owner-only
     std::uint32_t park_timeout_us = kParkMinUs;  // adaptive; owner-only
+    stats::perf_group hw;      // §10 per-thread counters; owner-only
+  };
+
+  // Availability codes published per worker in hw_slot::state.
+  static constexpr int kHwFull = 3;       // cycles+instructions+cache
+  static constexpr int kHwCpuOnly = 2;    // cycles+instructions
+  static constexpr int kHwClockOnly = 1;  // task-clock software event only
+
+  // Cumulative hardware readings, overwritten by the owning worker at cold
+  // sample points and read (racily, by design) by profile() and the dumps.
+  struct hw_slot {
+    stats::relaxed_counter cycles;
+    stats::relaxed_counter instructions;
+    stats::relaxed_counter cache_references;
+    stats::relaxed_counter cache_misses;
+    stats::relaxed_counter task_clock_ns;
+    std::atomic<int> state{0};  // kHw* code; 0 = nothing opened
+    std::atomic<int> err{0};    // errno from the hw-group open failure
   };
 
   // A found task plus its provenance: stolen tasks drive the wake chain
@@ -507,6 +605,22 @@ class scheduler {
   void register_worker(std::size_t id) {
     set_this_worker_id(id);
     stats::set_local_counters(&counters_[id].get());
+    trace::set_local_ring(tracer_.worker_ring(id));
+    if (hw_enabled_) {
+      // perf_event groups count the opening thread, so each worker opens
+      // its own on entry; availability (or the errno) is published for
+      // collect_hw()/dump_worker_state.
+      auto& ws = *workers_[id];
+      ws.hw.open(stats::perf_env_force_errno());
+      auto& slot = hw_slots_[id].get();
+      const std::string st = ws.hw.status();
+      slot.state.store(st == "available"                   ? kHwFull
+                       : st == "partial:no-cache-counters" ? kHwCpuOnly
+                       : ws.hw.is_open()                   ? kHwClockOnly
+                                                           : 0,
+                       std::memory_order_relaxed);
+      slot.err.store(ws.hw.error(), std::memory_order_relaxed);
+    }
     workers_[id]->handle = pthread_self();
     if constexpr (family == sched_family::signal) {
       detail::set_exposure_hook(&exposure_trampoline, workers_[id].get());
@@ -517,8 +631,35 @@ class scheduler {
     if constexpr (family == sched_family::signal) {
       detail::clear_exposure_hook();
     }
+    trace::set_local_ring(nullptr);
     stats::set_local_counters(nullptr);
     set_this_worker_id(npos_worker);
+  }
+
+  // Publishes the worker's cumulative hardware readings into its slot.
+  // Called only at cold boundaries (park entry, between-runs idle, run
+  // exit, shutdown) — one read() syscall each, never per task or steal.
+  void sample_hw(std::size_t self) noexcept {
+    if (!hw_enabled_) return;
+    const stats::hw_values v = workers_[self]->hw.read();
+    if (!v.any()) return;
+    hw_slot& s = hw_slots_[self].get();
+    s.cycles = v.cycles;
+    s.instructions = v.instructions;
+    s.cache_references = v.cache_references;
+    s.cache_misses = v.cache_misses;
+    s.task_clock_ns = v.task_clock_ns;
+    if (v.cpu_valid) trace::emit(trace::event::hw_cycles, v.cycles);
+    if (v.cache_valid) {
+      trace::emit(trace::event::hw_cache_misses, v.cache_misses);
+    }
+  }
+
+  // Final sample + fd teardown on the worker's own thread (worker_loop
+  // exit; the destructor does worker 0 after the others joined).
+  void finalize_worker_hw(std::size_t self) noexcept {
+    sample_hw(self);
+    workers_[self]->hw.close();
   }
 
   // SIGUSR1 lands here on the victim's thread (signal family only):
@@ -528,6 +669,9 @@ class scheduler {
   static void exposure_trampoline(void* ctx) noexcept {
     auto* ws = static_cast<worker_state*>(ctx);
     Policy::expose(ws->deque);
+    // Relaxed stores into this thread's own ring are async-signal-safe;
+    // see trace.h for the mid-emit reentrancy contract.
+    trace::emit(trace::event::exposure_answer, ws->id);
     if (ws->pool->health_.enabled()) {
       ws->pool->health_.note_handler_ran(ws->id);
     }
@@ -581,6 +725,7 @@ class scheduler {
         if (flag.load(std::memory_order_relaxed)) {
           flag.store(false, std::memory_order_relaxed);
           const bool exposed = Policy::expose(d) > 0;
+          trace::emit(trace::event::exposure_answer, self);
           // The exposed task is stealable right now; hand it to a sleeper.
           if (exposed && parking_ && lot_.sleepers() != 0) wake_one(self);
         }
@@ -654,6 +799,7 @@ class scheduler {
     stats::count_steal_attempt();
     if (!d.post_request(&box)) return nullptr;  // victim busy with another
     stats::count_exposure_request();
+    trace::emit(trace::event::exposure_request, victim);
     // No wake for the victim: a parked mailbox victim is provably empty
     // (it answers pending requests and drains its own stack before
     // sleeping, and only the owner pushes), so waking it could only buy a
@@ -705,6 +851,7 @@ class scheduler {
         auto& flag = targeted_[victim].get();
         if (!flag.load(std::memory_order_relaxed)) {
           stats::count_exposure_request();
+          trace::emit(trace::event::exposure_request, victim);
           flag.store(true, std::memory_order_relaxed);
         }
       } else if constexpr (family == sched_family::signal) {
@@ -719,6 +866,7 @@ class scheduler {
             // Legacy path, bit-for-bit (LCWS_DEGRADE_OFF).
             flag.store(true, std::memory_order_relaxed);
             stats::count_exposure_request();
+            trace::emit(trace::event::exposure_request, victim);
             if (detail::send_exposure_request(workers_[victim]->handle)) {
               stats::count_signal_sent();
             } else {
@@ -776,6 +924,7 @@ class scheduler {
     note_transition(health_.poll_rtt(victim, now));
     flag.store(true, std::memory_order_relaxed);
     stats::count_exposure_request();
+    trace::emit(trace::event::exposure_request, victim);
     if (!health_.is_degraded(victim)) {
       int attempts = 1;
       if (detail::send_exposure_request(workers_[victim]->handle,
@@ -828,6 +977,7 @@ class scheduler {
     // it for the duration (cold path: degraded victims only).
     detail::scoped_exposure_block guard;
     const bool exposed = Policy::expose(d) > 0;
+    trace::emit(trace::event::exposure_answer, self);
     // The exposed task is stealable right now; hand it to a sleeper.
     if (exposed && parking_ && lot_.sleepers() != 0) wake_one(self);
   }
@@ -861,10 +1011,13 @@ class scheduler {
     return kParkAfterFailures;
   }
 
-  // LCWS_DUMP_ON_EXIT: post-mortem snapshot at destruction.
+  // LCWS_DUMP_ON_EXIT: post-mortem snapshot at destruction. The dump
+  // mutex (trace.h) keeps each pool's report contiguous when several
+  // pools are torn down concurrently (the interleaved-dump bug).
   void emit_exit_dump() const noexcept {
     try {
       const std::string report = dump_worker_state();
+      std::lock_guard<std::mutex> lock(trace::dump_mutex());
       if (dump_on_exit_ == "1" || dump_on_exit_ == "stderr") {
         std::fputs(report.c_str(), stderr);
       } else if (std::FILE* f = std::fopen(dump_on_exit_.c_str(), "a")) {
@@ -881,7 +1034,11 @@ class scheduler {
   // and successful steals are classified by the victim's distance tier.
   // With the layer off this is exactly try_steal.
   job* steal_from(std::size_t self, std::size_t victim) {
+    trace::emit(trace::event::steal_attempt, victim);
     job* task = try_steal(self, victim);
+    trace::emit(task != nullptr ? trace::event::steal_success
+                                : trace::event::steal_loss,
+                victim);
     if (locality_) {
       health_.note_victim_steal(victim, task != nullptr);
       if (task != nullptr) {
@@ -943,7 +1100,9 @@ class scheduler {
   // possibly parked — must notice (wake everyone; steals are rare).
   void run_task(std::size_t self, const found_task& f) {
     if (f.stolen && parking_ && lot_.sleepers() != 0) wake_one(self);
+    trace::emit(trace::event::task_begin, f.stolen ? 1 : 0);
     execute(f.task);
+    trace::emit(trace::event::task_end);
     if (f.stolen && parking_ && lot_.sleepers() != 0) {
       stats::count_wake(lot_.unpark_all());
     }
@@ -1015,7 +1174,12 @@ class scheduler {
     auto& ws = *workers_[self];
     // Last quiesce before a potentially long sleep: a parked reader merely
     // delays reclamation, but there is no reason to park one epoch behind.
+    // This is also a trace/hw boundary — the per-find_task quiesce is far
+    // too hot to trace, but this cold one marks the steal->park phase
+    // edge, and the perf read here costs one syscall before a sleep.
     reclaim_.quiesce(ws.reader);
+    trace::emit(trace::event::quiesce, self);
+    sample_hw(self);
     stats::count_park();
     stopwatch sw;
     const bool woken =
@@ -1081,8 +1245,11 @@ class scheduler {
       if (shutdown_.load(std::memory_order_acquire)) break;
       if (!active_.load(std::memory_order_acquire)) {
         // Blocking between runs: quiesce first so storage retired by the
-        // previous computation can be reclaimed while we sleep.
+        // previous computation can be reclaimed while we sleep. Cold, so
+        // also a trace/hw sample boundary.
         reclaim_.quiesce(workers_[id]->reader);
+        trace::emit(trace::event::quiesce, id);
+        sample_hw(id);
         std::unique_lock<std::mutex> lock(mutex_);
         idle_cv_.wait(lock, [this] {
           return active_.load(std::memory_order_acquire) ||
@@ -1112,6 +1279,7 @@ class scheduler {
       }
       if (!yielded) bo.pause();
     }
+    finalize_worker_hw(id);
     unregister_worker();
   }
 
@@ -1138,6 +1306,9 @@ class scheduler {
   health::monitor health_;  // §6 degradation layer (LCWS_DEGRADE_*)
   const std::string dump_on_exit_;  // LCWS_DUMP_ON_EXIT; empty = off
   std::unique_ptr<watchdog> dog_;  // LCWS_WATCHDOG_MS; null when disabled
+  trace::tracer tracer_;    // §10 event rings (LCWS_TRACE; empty = off)
+  const bool hw_enabled_ = stats::perf_env_enabled();  // LCWS_PERF
+  std::vector<cache_aligned<hw_slot>> hw_slots_;  // §10 per-worker samples
 
   std::atomic<std::size_t> ready_{0};
   std::atomic<bool> shutdown_{false};

@@ -135,7 +135,13 @@ std::string format_profile(const profile& p) {
       << "parks=" << t.parks << " wakes=" << t.wakes
       << " idle_ns=" << t.idle_ns << "\n"
       << "exposed_not_stolen=" << p.exposed_not_stolen_fraction()
-      << " steal_success_rate=" << p.steal_success_rate() << "\n";
+      << " steal_success_rate=" << p.steal_success_rate() << "\n"
+      << "hw: status=" << p.hw.status << " cycles=" << p.hw.cycles
+      << " instructions=" << p.hw.instructions << " ipc=" << p.hw.ipc()
+      << " cache_refs=" << p.hw.cache_references
+      << " cache_misses=" << p.hw.cache_misses
+      << " miss_rate=" << p.hw.cache_miss_rate()
+      << " task_clock_ms=" << p.hw.task_clock_ns / 1000000 << "\n";
   return out.str();
 }
 

@@ -138,9 +138,36 @@ struct op_counters {
   friend op_counters operator-(op_counters a, const op_counters& b) noexcept;
 };
 
+// Pool-wide hardware-counter totals (src/stats/perf_counters.{h,cpp}).
+// `available` means at least one worker produced a real reading;
+// `status` is never empty -- when the kernel denies perf_event_open the
+// marker names the errno ("unavailable:EACCES") instead of leaving
+// zeros that look like data.
+struct hw_profile {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t task_clock_ns = 0;
+  bool available = false;
+  std::string status = "unavailable:off";
+
+  double ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  double cache_miss_rate() const noexcept {
+    return cache_references == 0 ? 0.0
+                                 : static_cast<double>(cache_misses) /
+                                       static_cast<double>(cache_references);
+  }
+};
+
 // Totals with the derived quantities the paper plots.
 struct profile {
   op_counters totals;
+  hw_profile hw;
 
   // Exposed tasks that were *not* stolen end up re-taken by their owner via
   // pop_public_bottom; Fig 3d / Fig 8d plot this fraction.

@@ -75,6 +75,11 @@ void monitor::sample_preemption(std::size_t self,
     const bool pressured = rate >= cfg_.csw_per_sec ||
                            (futile && rate >= cfg_.csw_per_sec / 4 &&
                             cfg_.csw_per_sec >= 4);
+    // Timeline-mark pressure *edges* only (the sampler runs steadily while
+    // idle; steady-state would flood the trace ring).
+    if (pressured != s.pressure.load(std::memory_order_relaxed)) {
+      trace::emit(trace::event::pressure, pressured ? 1 : 0);
+    }
     s.pressure.store(pressured, std::memory_order_relaxed);
   }
   s.last_nivcsw = nivcsw;

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/trace.h"
 #include "support/align.h"
 
 namespace lcws::health {
@@ -115,7 +116,7 @@ class monitor {
     s.fail_streak.store(streak, std::memory_order_relaxed);
     observe(s, 1000u);
     if (streak >= cfg_.fail_streak || ewma_tripped(s)) {
-      return trip(s);
+      return trip(victim, s);
     }
     return transition::none;
   }
@@ -143,7 +144,7 @@ class monitor {
     const std::uint32_t ok = s.ok_streak.load(std::memory_order_relaxed) + 1;
     s.ok_streak.store(ok, std::memory_order_relaxed);
     observe(s, 0u);
-    if (ok >= cfg_.recover_streak) return restore(s);
+    if (ok >= cfg_.recover_streak) return restore(victim, s);
     return transition::none;
   }
 
@@ -213,7 +214,7 @@ class monitor {
     // under oversubscription); only sustained-majority EWMA evidence trips.
     observe(s, 1000u);
     if (!s.degraded.load(std::memory_order_relaxed) && ewma_tripped(s)) {
-      return trip(s);
+      return trip(victim, s);
     }
     return transition::none;
   }
@@ -287,8 +288,8 @@ class monitor {
   // Test hook: force a victim's state (counts the transition like a real
   // trip/restore would).
   transition force_degraded(std::size_t victim, bool degraded) noexcept {
-    return degraded ? trip(slots_[victim].get())
-                    : restore(slots_[victim].get());
+    return degraded ? trip(victim, slots_[victim].get())
+                    : restore(victim, slots_[victim].get());
   }
 
   // Relaxed-read snapshot of one worker's slot for dump_worker_state /
@@ -342,7 +343,10 @@ class monitor {
                cfg_.fail_permille;
   }
 
-  transition trip(slot& s) noexcept {
+  // The compare_exchange picks the single winning thief; that winner also
+  // emits the timeline event (trace.h), so degrade/recover events appear
+  // exactly once per transition — same contract as the counters.
+  transition trip(std::size_t victim, slot& s) noexcept {
     bool expected = false;
     if (!s.degraded.compare_exchange_strong(expected, true,
                                             std::memory_order_relaxed)) {
@@ -352,10 +356,11 @@ class monitor {
     s.fallbacks_since_probe.store(0, std::memory_order_relaxed);
     s.degrades.store(s.degrades.load(std::memory_order_relaxed) + 1,
                      std::memory_order_relaxed);
+    trace::emit(trace::event::degrade, victim);
     return transition::degraded;
   }
 
-  transition restore(slot& s) noexcept {
+  transition restore(std::size_t victim, slot& s) noexcept {
     bool expected = true;
     if (!s.degraded.compare_exchange_strong(expected, false,
                                             std::memory_order_relaxed)) {
@@ -368,6 +373,7 @@ class monitor {
     s.observations.store(0, std::memory_order_relaxed);
     s.recovers.store(s.recovers.load(std::memory_order_relaxed) + 1,
                      std::memory_order_relaxed);
+    trace::emit(trace::event::recover, victim);
     return transition::recovered;
   }
 

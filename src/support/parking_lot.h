@@ -46,6 +46,7 @@
 #include <mutex>
 #include <vector>
 
+#include "stats/trace.h"
 #include "support/align.h"
 #include "support/fault_injection.h"
 
@@ -121,6 +122,10 @@ class parking_lot {
   // the announcement on return.
   bool park(std::size_t i, std::chrono::microseconds timeout) {
     slot& s = *slots_[i];
+    // Trace the episode on the parker's own ring (trace.h; no-op when
+    // tracing is off). Like the stats contract above, this never touches
+    // the paper's op counters.
+    trace::emit(trace::event::park_begin);
     bool woken = false;
     if (fi::inject(fi::site::spurious_wake)) {
       // Injected fault: the wait "returns" instantly without a permit, as
@@ -138,6 +143,7 @@ class parking_lot {
     if (s.announced.exchange(false, std::memory_order_acq_rel)) {
       nsleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
+    trace::emit(trace::event::park_end, woken ? 1 : 0);
     return woken;
   }
 
@@ -152,6 +158,7 @@ class parking_lot {
       if (!s.announced.load(std::memory_order_relaxed)) continue;
       if (!s.announced.exchange(false, std::memory_order_acq_rel)) continue;
       nsleepers_.fetch_sub(1, std::memory_order_relaxed);
+      trace::emit(trace::event::unpark, i);
       deliver_permit(s);
       return true;
     }
@@ -166,6 +173,7 @@ class parking_lot {
     if (s.announced.exchange(false, std::memory_order_acq_rel)) {
       nsleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
+    trace::emit(trace::event::unpark, i);
     deliver_permit(s);
   }
 
@@ -178,6 +186,8 @@ class parking_lot {
       if (!s.announced.load(std::memory_order_relaxed)) continue;
       if (!s.announced.exchange(false, std::memory_order_acq_rel)) continue;
       nsleepers_.fetch_sub(1, std::memory_order_relaxed);
+      std::size_t i = static_cast<std::size_t>(&sp - slots_.data());
+      trace::emit(trace::event::unpark, i);
       deliver_permit(s);
       ++woken;
     }

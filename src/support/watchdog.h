@@ -38,6 +38,8 @@
 #include <thread>
 #include <utility>
 
+#include "stats/trace.h"
+
 namespace lcws {
 
 class watchdog {
@@ -107,6 +109,10 @@ class watchdog {
 
  private:
   static void default_stall(const std::string& report) {
+    // Serialize against concurrent LCWS_DUMP_ON_EXIT / other pools'
+    // watchdogs so the report (which now carries per-worker trace tails)
+    // lands on stderr as one contiguous block.
+    std::lock_guard<std::mutex> lock(trace::dump_mutex());
     std::fprintf(stderr,
                  "lcws: watchdog: no scheduler progress for a full "
                  "deadline; worker state follows\n%s",

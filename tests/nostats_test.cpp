@@ -50,5 +50,27 @@ TEST(NoStats, DirectCountersStillCompile) {
   EXPECT_EQ(static_cast<std::uint64_t>(stats::local_counters().fences), 0u);
 }
 
+// LCWS_NO_STATS strips the trace emit sites with the counters: even with
+// LCWS_TRACE pointing at a file, the per-worker rings must record nothing
+// (trace::emit is a no-op in this compile mode, same ODR story as the
+// counters).
+TEST(NoStats, TraceEmitIsCompiledOut) {
+  const std::string path = "/tmp/lcws_nostats_trace.json";
+  setenv("LCWS_TRACE", path.c_str(), 1);
+  {
+    ws_scheduler sched(2);
+    sched.run([&] {
+      std::atomic<int> n{0};
+      par::parallel_for(sched, 0, 1000, [&](std::size_t) { n++; });
+    });
+    ASSERT_TRUE(sched.tracer().enabled());
+    for (std::size_t w = 0; w < sched.num_workers(); ++w) {
+      EXPECT_EQ(sched.tracer().worker_ring(w)->emitted(), 0u);
+    }
+  }
+  unsetenv("LCWS_TRACE");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace lcws
