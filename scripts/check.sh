@@ -8,11 +8,23 @@
 # Slow stress sweeps carry the `stress` ctest label; pass LCWS_QUICK=1 to
 # exclude them (`ctest -LE stress`) for a fast local iteration loop, and
 # LCWS_FI_SEEDS=<n> to deepen the fault-injection sweep for soak runs.
-# Usage: scripts/check.sh [ctest args...]
+# Usage: scripts/check.sh [--soak] [ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+# --soak: the CI nightly job, runnable locally — ONLY the stress-labeled
+# sweeps (fault injection, worker-loss crashes), under ThreadSanitizer,
+# at 4x the acceptance seed depth (override with LCWS_FI_SEEDS).
+if [[ "${1:-}" == "--soak" ]]; then
+  shift
+  export LCWS_FI_SEEDS="${LCWS_FI_SEEDS:-256}"
+  echo "== soak: stress suites under tsan, LCWS_FI_SEEDS=${LCWS_FI_SEEDS} =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${jobs}"
+  exec ctest --preset tsan -j "${jobs}" -L stress --output-on-failure "$@"
+fi
 
 label_filter=()
 if [[ "${LCWS_QUICK:-0}" != "0" ]]; then
@@ -59,5 +71,5 @@ echo "== preset: asan (hardening suites) =="
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}" \
-  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque|[Ss]hutdown|[Hh]ealth|[Dd]egrad|DumpOnExit|StealThrottle|Backoff|[Tt]race|PerfCounters)' \
+  -R '([Ee]xception|[Ff]ault|[Ww]atchdog|[Dd]eque|[Ss]hutdown|[Hh]ealth|[Dd]egrad|DumpOnExit|StealThrottle|Backoff|[Tt]race|PerfCounters|WorkerLoss)' \
   "${label_filter[@]}" "$@"

@@ -17,7 +17,10 @@ Two kinds of checks, in decreasing order of trust:
                committed baseline: no cell may be more than --ratio times
                slower than the recorded number (baselines come from a
                different machine, so this only catches order-of-magnitude
-               regressions — the margin is deliberately loose).
+               regressions — the margin is deliberately loose). A cell
+               that blows the ratio gets one retry: the bench binary is
+               re-run once (never just the comparison) and only a
+               violation that reproduces fails the gate.
 
 The near-steal-fraction check is skipped on hosts with fewer than two
 usable CPUs (a 1-CPU container has a single flat tier: "near" and "remote"
@@ -106,7 +109,11 @@ def key_locality(row):
 
 
 def key_degraded(row):
-    return (row.get("scheduler"), row.get("fail_permille"), row.get("corun"))
+    # Older rows predate the scenario field: they are the signal-failure
+    # sweep. Newer rows add scenario="worker_loss" (§11) under the same
+    # baseline file.
+    return (row.get("scenario", "signal_fail"), row.get("scheduler"),
+            row.get("fail_permille"), row.get("corun"))
 
 
 def key_fig(row):
@@ -354,14 +361,17 @@ def gate_deque_bit_identity(rows, baseline):
     note(f"deque bit-identity: {checked} counter fields exactly equal")
 
 
-def gate_vs_baseline(current, baseline, keyfn, ratio, label):
-    """Order-of-magnitude regression check against the committed numbers.
-    Baselines were recorded on a different machine: only a blown ratio
-    (default 5x) plus an absolute floor counts as a failure."""
-    if not baseline:
-        skip(f"{label}: no committed baseline rows")
-        return
+TIMING_FIELDS = ("seconds", "idle_cpu_s", "burst_median_s",
+                 "makespan_median_s", "recovery_run_s")
+
+
+def baseline_ratio_violations(current, baseline, keyfn, ratio):
+    """Pure comparison pass for gate_vs_baseline: returns the list of
+    (key, field, current, base, limit) ratio violations, the count of
+    baseline cells absent from the current run, and the number of metrics
+    checked."""
     cur = index(current, keyfn)
+    violations = []
     missing = 0
     checked = 0
     for key, base_row in index(baseline, keyfn).items():
@@ -369,8 +379,7 @@ def gate_vs_baseline(current, baseline, keyfn, ratio, label):
         if row is None:
             missing += 1
             continue
-        for field in ("seconds", "idle_cpu_s", "burst_median_s",
-                      "makespan_median_s", "recovery_run_s"):
+        for field in TIMING_FIELDS:
             base_v = base_row.get(field)
             cur_v = row.get(field)
             if base_v is None or cur_v is None or base_v <= 0:
@@ -378,13 +387,50 @@ def gate_vs_baseline(current, baseline, keyfn, ratio, label):
             checked += 1
             limit = base_v * ratio + 0.01
             if cur_v > limit:
-                fail(
-                    f"{label} {key} {field}: {cur_v:.4f} vs baseline "
-                    f"{base_v:.4f} (limit {limit:.4f}, ratio {ratio}x)"
-                )
+                violations.append((key, field, cur_v, base_v, limit))
+    return violations, missing, checked
+
+
+def gate_vs_baseline(current, baseline, keyfn, ratio, label, rerun=None):
+    """Order-of-magnitude regression check against the committed numbers.
+    Baselines were recorded on a different machine: only a blown ratio
+    (default 5x) plus an absolute floor counts as a failure.
+
+    Timing cells are the one legitimately noisy layer (a descheduled
+    container can blow any single wall-clock number), so when `rerun` is
+    provided a violating cell gets exactly one second chance: the whole
+    bench binary is re-run — never just the gate arithmetic — and only
+    violations that REPRODUCE on the fresh rows count. Structural gates
+    (missing cells, counter identities, bit-identity) get no such mercy."""
+    if not baseline:
+        skip(f"{label}: no committed baseline rows")
+        return
+    violations, missing, checked = baseline_ratio_violations(
+        current, baseline, keyfn, ratio)
     if missing:
         fail(f"{label}: {missing} baseline cells missing from current run "
              f"(bench matrix shrank)")
+    if violations and rerun is not None:
+        print(f"  retry: {label}: {len(violations)} timing cell(s) over "
+              f"{ratio}x; re-running the bench once to separate a "
+              f"descheduled run from a real regression")
+        fresh = rerun()
+        if fresh:
+            fresh_v, _, _ = baseline_ratio_violations(
+                fresh, baseline, keyfn, ratio)
+            fresh_keys = {(v[0], v[1]) for v in fresh_v}
+            reproduced = [v for v in violations
+                          if (v[0], v[1]) in fresh_keys]
+            recovered = len(violations) - len(reproduced)
+            if recovered:
+                note(f"{label}: {recovered} cell(s) recovered on retry "
+                     f"(one-off timing noise)")
+            violations = reproduced
+    for key, field, cur_v, base_v, limit in violations:
+        fail(
+            f"{label} {key} {field}: {cur_v:.4f} vs baseline "
+            f"{base_v:.4f} (limit {limit:.4f}, ratio {ratio}x)"
+        )
     note(f"{label}: {checked} metrics within {ratio}x of baseline")
 
 
@@ -402,21 +448,25 @@ def main():
     args = ap.parse_args()
 
     bench_dir = os.path.join(args.build_dir, "bench")
-    idle_rows = run_bench(os.path.join(bench_dir, "micro_idle"), {})
-    locality_rows = run_bench(os.path.join(bench_dir, "locality"), {})
-    deque_rows = run_bench(os.path.join(bench_dir, "micro_deque"), {})
-    degraded_rows = run_bench(os.path.join(bench_dir, "degraded_mode"), {})
-    fig3_rows = run_bench(
-        os.path.join(bench_dir, "fig3_uslcws_profile"), FIG_GATE_ENV)
-    fig8_rows = run_bench(
-        os.path.join(bench_dir, "fig8_signal_profile"), FIG_GATE_ENV)
+
+    def bench(name, env_extra):
+        exe = os.path.join(bench_dir, name)
+        return exe, run_bench(exe, env_extra)
+
+    idle_exe, idle_rows = bench("micro_idle", {})
+    loc_exe, locality_rows = bench("locality", {})
+    deque_exe, deque_rows = bench("micro_deque", {})
+    deg_exe, degraded_rows = bench("degraded_mode", {})
+    fig3_exe, fig3_rows = bench("fig3_uslcws_profile", FIG_GATE_ENV)
+    fig8_exe, fig8_rows = bench("fig8_signal_profile", FIG_GATE_ENV)
 
     if idle_rows:
         gate_idle_structural(idle_rows)
         gate_vs_baseline(
             idle_rows,
             load_json_lines(os.path.join(args.baseline_dir, "BENCH_idle.json")),
-            key_idle, args.ratio, "BENCH_idle")
+            key_idle, args.ratio, "BENCH_idle",
+            rerun=lambda: run_bench(idle_exe, {}))
     if locality_rows:
         gate_locality_structural(locality_rows)
         gate_locality_slowdown(locality_rows, args.margin)
@@ -425,7 +475,8 @@ def main():
             locality_rows,
             load_json_lines(
                 os.path.join(args.baseline_dir, "BENCH_locality.json")),
-            key_locality, args.ratio, "BENCH_locality")
+            key_locality, args.ratio, "BENCH_locality",
+            rerun=lambda: run_bench(loc_exe, {}))
     if deque_rows:
         gate_deque_structural(deque_rows)
         gate_deque_bit_identity(
@@ -436,13 +487,15 @@ def main():
             deque_rows,
             load_json_lines(
                 os.path.join(args.baseline_dir, "BENCH_deque.json")),
-            key_deque, args.ratio, "BENCH_deque")
+            key_deque, args.ratio, "BENCH_deque",
+            rerun=lambda: run_bench(deque_exe, {}))
     if degraded_rows:
         gate_vs_baseline(
             degraded_rows,
             load_json_lines(
                 os.path.join(args.baseline_dir, "BENCH_degraded.json")),
-            key_degraded, args.ratio, "BENCH_degraded")
+            key_degraded, args.ratio, "BENCH_degraded",
+            rerun=lambda: run_bench(deg_exe, {}))
     if fig3_rows:
         gate_fig_fences(fig3_rows, "uslcws", "fig3")
         gate_hw_marker(fig3_rows, "fig3")
@@ -450,7 +503,8 @@ def main():
             fig3_rows,
             load_json_lines(os.path.join(args.baseline_dir,
                                          "BENCH_fig3.json")),
-            key_fig, args.ratio, "BENCH_fig3")
+            key_fig, args.ratio, "BENCH_fig3",
+            rerun=lambda: run_bench(fig3_exe, FIG_GATE_ENV))
     if fig8_rows:
         gate_fig_fences(fig8_rows, "signal", "fig8")
         gate_hw_marker(fig8_rows, "fig8")
@@ -458,7 +512,8 @@ def main():
             fig8_rows,
             load_json_lines(os.path.join(args.baseline_dir,
                                          "BENCH_fig8.json")),
-            key_fig, args.ratio, "BENCH_fig8")
+            key_fig, args.ratio, "BENCH_fig8",
+            rerun=lambda: run_bench(fig8_exe, FIG_GATE_ENV))
 
     if FAILURES:
         print(f"\nperf gate: {len(FAILURES)} failure(s)")

@@ -132,8 +132,17 @@ class parking_lot {
       // a spurious OS wakeup would. A pending permit is left sticky for
       // the next park; the retire path below runs unchanged.
     } else {
+      // EINTR / spurious-wake budget: the deadline is computed once, as an
+      // absolute time point, before the first wait. A signal (SIGUSR1
+      // exposure traffic lands on these threads constantly) or a spurious
+      // futex wake interrupts the underlying wait; the predicated
+      // wait_until then re-arms against the *same* deadline — the
+      // remaining timeout, never a fresh full budget. (wait_for(pred)
+      // would recompute its deadline relative to each re-entry on some
+      // implementations; wait_until makes the re-arm contract explicit.)
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
       std::unique_lock<std::mutex> lock(s.m);
-      woken = s.cv.wait_for(lock, timeout, [&] { return s.permit; });
+      woken = s.cv.wait_until(lock, deadline, [&] { return s.permit; });
       s.permit = false;
     }
     // On timeout the announcement is still ours to retire; on a wake the
@@ -147,6 +156,30 @@ class parking_lot {
     return woken;
   }
 
+  // ---- worker-loss fencing (DESIGN.md §11) --------------------------------
+
+  // Fences slot `i` out of the lot: a worker declared lost must never be
+  // counted as a wakeable sleeper again (a permit delivered to a corpse is
+  // a wake another — live — worker needed). Retires any announcement it
+  // left behind so sleepers() stays honest, and marks the slot so every
+  // unpark path skips it from now on. Idempotent; called by the recovery
+  // winner, raced harmlessly by late detectors.
+  void mark_dead(std::size_t i) noexcept {
+    slot& s = *slots_[i];
+    s.dead.store(true, std::memory_order_relaxed);
+    if (s.announced.exchange(false, std::memory_order_acq_rel)) {
+      nsleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    // A wedged-in-park corpse still holds a timed wait; hand it a permit so
+    // the underlying cv wait drains promptly (it re-checks its loop exit
+    // conditions on return — shutdown, lost-self — and halts).
+    deliver_permit(s);
+  }
+
+  bool is_dead(std::size_t i) const noexcept {
+    return slots_[i]->dead.load(std::memory_order_relaxed);
+  }
+
   // Wakes one announced/parked worker, scanning from `hint`. Returns true
   // iff a worker was claimed and given a permit.
   bool unpark_one(std::size_t hint = 0) {
@@ -155,6 +188,7 @@ class parking_lot {
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t i = (hint + k) % n;
       slot& s = *slots_[i];
+      if (s.dead.load(std::memory_order_relaxed)) continue;
       if (!s.announced.load(std::memory_order_relaxed)) continue;
       if (!s.announced.exchange(false, std::memory_order_acq_rel)) continue;
       nsleepers_.fetch_sub(1, std::memory_order_relaxed);
@@ -183,6 +217,7 @@ class parking_lot {
     std::size_t woken = 0;
     for (auto& sp : slots_) {
       slot& s = *sp;
+      if (s.dead.load(std::memory_order_relaxed)) continue;
       if (!s.announced.load(std::memory_order_relaxed)) continue;
       if (!s.announced.exchange(false, std::memory_order_acq_rel)) continue;
       nsleepers_.fetch_sub(1, std::memory_order_relaxed);
@@ -200,6 +235,7 @@ class parking_lot {
     std::condition_variable cv;
     bool permit = false;  // guarded by m; sticky until consumed by park()
     std::atomic<bool> announced{false};
+    std::atomic<bool> dead{false};  // §11: fenced out by mark_dead()
   };
 
   static void deliver_permit(slot& s) {

@@ -47,16 +47,26 @@ class watchdog {
   using progress_fn = std::function<std::uint64_t()>;
   using dump_fn = std::function<std::string()>;
   using stall_fn = std::function<void(const std::string&)>;
+  using cancel_fn = std::function<void(const std::string&)>;
 
   // `progress` must be monotone while work is happening; `dump` renders the
   // state report; `on_stall` receives it (default: stderr + abort; tests
   // substitute a recorder). Callbacks run on the monitor thread.
+  //
+  // `cancel` (optional) arms the §11 escalation ladder: the *first* frozen
+  // window dumps and calls `cancel` (the scheduler cancels the active run
+  // cooperatively — pardo boundaries throw, the tree collapses, run()
+  // returns); only a *second* consecutive frozen window — the cancel
+  // itself produced no progress, so the hang is not cooperative-cancelable
+  // — falls through to `on_stall` (default: abort). Without `cancel` the
+  // ladder degenerates to the legacy dump-and-abort on the first stall.
   watchdog(std::chrono::milliseconds deadline, progress_fn progress,
-           dump_fn dump, stall_fn on_stall = {})
+           dump_fn dump, stall_fn on_stall = {}, cancel_fn cancel = {})
       : deadline_(deadline),
         progress_(std::move(progress)),
         dump_(std::move(dump)),
         on_stall_(on_stall ? std::move(on_stall) : default_stall),
+        cancel_(std::move(cancel)),
         monitor_([this] { monitor_loop(); }) {}
 
   watchdog(const watchdog&) = delete;
@@ -96,6 +106,12 @@ class watchdog {
     return stalls_.load(std::memory_order_relaxed);
   }
 
+  // Number of cancel-rung escalations issued (first frozen window with a
+  // cancel_fn attached).
+  std::uint64_t cancels_issued() const noexcept {
+    return cancels_.load(std::memory_order_relaxed);
+  }
+
   // Parses LCWS_WATCHDOG_MS: a positive integer enables the watchdog with
   // that deadline; unset/zero/garbage disables it.
   static std::optional<std::chrono::milliseconds> env_deadline() noexcept {
@@ -125,15 +141,21 @@ class watchdog {
     std::unique_lock<std::mutex> lock(m_);
     std::uint64_t baseline = 0;
     bool have_baseline = false;
+    // Escalation rung for the current stall episode: 0 = none, 1 = the
+    // cancel rung fired. Any progress resets it — a later, distinct stall
+    // gets a fresh cancel attempt before the abort rung.
+    int rung = 0;
     while (!stop_) {
       cv_.wait_for(lock, deadline_, [this] { return stop_ || rebaseline_; });
       if (stop_) break;
       if (rebaseline_) {
         rebaseline_ = false;
         have_baseline = false;
+        rung = 0;
       }
       if (!armed_) {
         have_baseline = false;
+        rung = 0;
         continue;
       }
       lock.unlock();
@@ -142,15 +164,29 @@ class watchdog {
       if (stop_) break;
       if (!armed_ || rebaseline_) continue;  // disarmed/re-armed mid-sample
       if (have_baseline && token == baseline) {
-        lock.unlock();
-        const std::string report = dump_();
-        stalls_.fetch_add(1, std::memory_order_relaxed);
-        on_stall_(report);  // default never returns
-        lock.lock();
-        have_baseline = false;  // test handlers return: start a fresh window
+        if (cancel_ && rung == 0) {
+          // First rung: dump + cooperative cancel. If cancellation bites,
+          // the collapsing tree moves the token and the next sample
+          // resets the ladder; if not, the next frozen window aborts.
+          rung = 1;
+          lock.unlock();
+          const std::string report = dump_();
+          cancels_.fetch_add(1, std::memory_order_relaxed);
+          cancel_(report);
+          lock.lock();
+        } else {
+          lock.unlock();
+          const std::string report = dump_();
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+          on_stall_(report);  // default never returns
+          lock.lock();
+          have_baseline = false;  // test handlers return: fresh window
+          rung = 0;
+        }
       } else {
         baseline = token;
         have_baseline = true;
+        rung = 0;
       }
     }
   }
@@ -159,6 +195,7 @@ class watchdog {
   const progress_fn progress_;
   const dump_fn dump_;
   const stall_fn on_stall_;
+  const cancel_fn cancel_;
 
   std::mutex m_;
   std::condition_variable cv_;
@@ -166,6 +203,7 @@ class watchdog {
   bool armed_ = false;
   bool rebaseline_ = false;
   std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> cancels_{0};
   std::thread monitor_;  // last: starts after every field it reads
 };
 

@@ -1,0 +1,457 @@
+// Worker-loss containment and cancellation (DESIGN.md §11).
+//
+// This binary links the LCWS_FAULT_INJECTION build so the worker_crash
+// site is live: workers die at scheduling boundaries (loop top — wedge or
+// abrupt exit) or between claiming a stolen task and executing it (wedge,
+// the one flavor that strands a live joiner). With LCWS_WORKER_LOST_MS
+// armed, every run must either complete with the correct result on the
+// surviving workers or surface worker_lost_error through the ordinary
+// exception path — never hang, never abort — and the pool must stay
+// reusable afterwards. The deadline/cancellation tests need no faults at
+// all: run_for and cancel_run are ordinary API surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "sched/dispatch.h"
+#include "sched/run_errors.h"
+#include "sched/scheduler.h"
+#include "stats/counters.h"
+#include "support/fault_injection.h"
+
+namespace lcws {
+namespace {
+
+template <typename Sched>
+std::uint64_t fib(Sched& sched, unsigned n) {
+  if (n < 2) return n;
+  if (n < 10) {
+    std::uint64_t a = 0, b = 1;
+    for (unsigned i = 1; i < n; ++i) {
+      const std::uint64_t c = a + b;
+      a = b;
+      b = c;
+    }
+    return b;
+  }
+  std::uint64_t left = 0, right = 0;
+  sched.pardo([&] { left = fib(sched, n - 1); },
+              [&] { right = fib(sched, n - 2); });
+  return left + right;
+}
+
+// Crash-sweep workload: a balanced fork tree whose leaves each burn ~20µs
+// of CPU, so one run spans many scheduling quanta. A cutoff-fib kernel
+// finishes in microseconds — often before workers 1..3 even wake — which
+// starves the loop-top/mid-task crash sites of draws and turns the sweep
+// into a no-op. Returns the leaf count (1 << depth).
+template <typename Sched>
+std::uint64_t burn_tree(Sched& sched, unsigned depth) {
+  if (depth == 0) {
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 20000; ++i) sink = sink + 1;
+    return 1;
+  }
+  std::uint64_t l = 0, r = 0;
+  sched.pardo([&] { l = burn_tree(sched, depth - 1); },
+              [&] { r = burn_tree(sched, depth - 1); });
+  return l + r;
+}
+
+// Seeds per scheduler kind; acceptance floor is 64, raisable for soak runs.
+int sweep_seeds() {
+  if (const char* s = std::getenv("LCWS_FI_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 64;
+}
+
+// setenv/unsetenv scope guard; the scheduler reads LCWS_* once at
+// construction, so guards must outlive the pool under test.
+class scoped_env {
+ public:
+  scoped_env(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~scoped_env() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// A detection can race the very end of a run: the root returns while
+// another worker is still inside recover_lost_worker, so a snapshot taken
+// immediately after run() may catch the books mid-update. Poll until two
+// consecutive snapshots agree on every §11-relevant counter.
+template <typename Sched>
+stats::op_counters settled_totals(Sched& sched) {
+  auto prev = sched.profile().totals;
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto next = sched.profile().totals;
+    if (next.workers_lost.get() == prev.workers_lost.get() &&
+        next.deques_adopted.get() == prev.deques_adopted.get() &&
+        next.tasks_orphaned.get() == prev.tasks_orphaned.get() &&
+        next.pushes.get() == prev.pushes.get() &&
+        next.steals.get() == prev.steals.get() &&
+        next.pops_private.get() == prev.pops_private.get() &&
+        next.pops_public.get() == prev.pops_public.get() &&
+        next.tasks_executed.get() == prev.tasks_executed.get()) {
+      return next;
+    }
+    prev = next;
+  }
+  return prev;
+}
+
+// ---------------------------------------------------------------------------
+// The crash sweep
+// ---------------------------------------------------------------------------
+
+class WorkerLoss : public ::testing::TestWithParam<sched_kind> {
+ protected:
+  void TearDown() override { fi::disable(); }
+};
+
+// seeds x schedulers with the worker_crash site armed at a low rate, so
+// workers survive long enough to steal before dying — exercising both the
+// clean-loss path (boundary death, run completes short-handed) and the
+// repair path (mid-task wedge, run returns worker_lost_error). Every run
+// must terminate, every result must be correct or carry the structured
+// error, and the push/pop/steal/orphan books must balance across the run
+// plus a follow-up clean run on the diminished pool.
+TEST_P(WorkerLoss, EveryCrashScheduleCompletesOrReportsLoss) {
+  const sched_kind kind = GetParam();
+  const int seeds = sweep_seeds();
+  // Short detection window so a wedged joiner is repaired in ~2 windows;
+  // real deployments would use hundreds of ms.
+  scoped_env lost_ms("LCWS_WORKER_LOST_MS", "25");
+  int lost_runs = 0;
+  std::uint64_t crashes_seen = 0;
+  // Several faulted runs per seed on one pool: workers pass the loop-top
+  // site only between top-level tasks (nested pardo work drains inside
+  // join loops), so a single run offers each worker just a handful of
+  // draws — and a corpse from run j makes runs j+1.. genuinely
+  // short-handed, which is exactly the regime under test.
+  constexpr int kRunsPerSeed = 6;
+  for (int seed = 0; seed < seeds; ++seed) {
+    // 10/1000 per visit: a worker survives ~100 boundary visits (many
+    // runs), so steals — and therefore mid-task wedges that strand a
+    // live joiner — happen well before most deaths.
+    fi::configure(static_cast<std::uint64_t>(seed) * 0xd1342543ULL + 7,
+                  /*rate_permille=*/10,
+                  fi::site_bit(fi::site::worker_crash) |
+                      fi::site_bit(fi::site::worker_crash_midtask));
+    with_scheduler(kind, 4, [&](auto& sched) {
+      sched.reset_counters();
+      ASSERT_TRUE(sched.loss_detection_active());
+      for (int r = 0; r < kRunsPerSeed; ++r) {
+        try {
+          const std::uint64_t got =
+              sched.run([&] { return burn_tree(sched, 9); });
+          EXPECT_EQ(got, 512u)
+              << to_string(kind) << " seed " << seed << " run " << r;
+        } catch (const worker_lost_error& e) {
+          // A mid-task wedge stranded a join; the repair protocol
+          // completed it with the structured error. The dump is the
+          // post-mortem.
+          ++lost_runs;
+          EXPECT_GE(e.worker(), 1u) << to_string(kind) << " seed " << seed;
+          EXPECT_LT(e.worker(), 4u) << to_string(kind) << " seed " << seed;
+          EXPECT_FALSE(e.worker_dump().empty())
+              << to_string(kind) << " seed " << seed;
+          EXPECT_GE(sched.lost_workers(), 1u)
+              << to_string(kind) << " seed " << seed;
+        }
+      }
+      // Injected crashes, not detected ones: a loop-top corpse holds no
+      // task, so a short run completes without ever needing the verdict —
+      // workers_lost stays 0 unless a joiner was actually stranded (or an
+      // idle poll happens to land past the window). The site being alive
+      // is what this counts; detection is asserted via lost_runs below and
+      // the deterministic DebugLoseWorker tests.
+      crashes_seen += fi::injected_count(fi::site::worker_crash) +
+                      fi::injected_count(fi::site::worker_crash_midtask);
+      // The pool must remain reusable after any outcome: stop injecting
+      // and run again on whatever workers survive (worker 0 always does).
+      fi::disable();
+      EXPECT_EQ(sched.run([&] { return fib(sched, 15); }), 610u)
+          << to_string(kind) << " seed " << seed;
+      const auto t = settled_totals(sched);
+      // Loss bookkeeping: every lost-worker verdict adopts exactly one
+      // deque (mailbox victims have no thief-side drain, so nothing is
+      // adoptable and everything unreachable is orphaned instead).
+      if (kind == sched_kind::private_deques) {
+        EXPECT_EQ(t.deques_adopted.get(), 0u)
+            << to_string(kind) << " seed " << seed;
+      } else {
+        EXPECT_EQ(t.deques_adopted.get(), t.workers_lost.get())
+            << to_string(kind) << " seed " << seed;
+      }
+      EXPECT_EQ(t.workers_lost.get(), sched.lost_workers())
+          << to_string(kind) << " seed " << seed;
+      // Balance: every pushed job was consumed exactly once or is
+      // accounted orphaned in a dead worker's unreachable private part.
+      if (kind == sched_kind::wsmult) {
+        EXPECT_EQ(t.steals.get(), t.useful_steals.get() + t.claims_lost.get())
+            << to_string(kind) << " seed " << seed;
+        EXPECT_EQ(t.pushes.get(), t.pops_private.get() +
+                                      t.useful_steals.get() +
+                                      t.tasks_orphaned.get())
+            << to_string(kind) << " seed " << seed;
+      } else {
+        EXPECT_EQ(t.pushes.get(),
+                  t.pops_private.get() + t.pops_public.get() +
+                      t.steals.get() + t.tasks_orphaned.get())
+            << to_string(kind) << " seed " << seed;
+      }
+      // Execution: popped-but-abandoned tasks (one per repaired join) are
+      // the only pushes that are consumed yet never executed.
+      const std::uint64_t consumed_not_run =
+          t.pushes.get() - t.unexposures.get() - t.tasks_orphaned.get() -
+          t.tasks_executed.get();
+      EXPECT_LE(consumed_not_run, t.workers_lost.get())
+          << to_string(kind) << " seed " << seed;
+      // Signal family: a corpse can fail sends (ESRCH) but every exposure
+      // request still resolves to exactly one outcome.
+      if (kind == sched_kind::signal || kind == sched_kind::conservative ||
+          kind == sched_kind::expose_half) {
+        EXPECT_EQ(t.exposure_requests.get(),
+                  t.signals_sent.get() + t.signals_failed.get() +
+                      t.fallback_exposures.get())
+            << to_string(kind) << " seed " << seed;
+      }
+    });
+  }
+  RecordProperty("lost_error_runs", lost_runs);
+  RecordProperty("workers_crashed", static_cast<int>(crashes_seen));
+  // With 3 killable workers drawing ~5 boundary samples per run x 6 runs
+  // per seed at 10/1000 (measured on a 1-CPU host — more everywhere
+  // else), expected crashes are ~1 per seed: a sweep that never saw one
+  // means the sites are dead code. Repair-path coverage is NOT asserted
+  // statistically here — steal frequency varies too much across scheduler
+  // families and hosts (the signal family steals rarely on a 1-CPU box) —
+  // MidTaskWedgeRepairIsDeterministic below forces it per scheduler.
+  if (seeds >= 8) {
+    EXPECT_GT(crashes_seen, 0u) << to_string(kind);
+  }
+}
+
+// Directed repair coverage: arm ONLY the mid-task site at rate 1000, so
+// the first top-level steal wedges its thief while holding the claimed
+// task — the joiner is stranded and the run can end no other way than the
+// §11 repair completing it with worker_lost_error. Retries cover runs
+// that happened to finish without any top-level steal (the retry pool is
+// intact by construction: nothing wedged). A full retry budget with no
+// steal ever wedged would mean the site or the steal path is dead.
+TEST_P(WorkerLoss, MidTaskWedgeRepairIsDeterministic) {
+  const sched_kind kind = GetParam();
+  scoped_env lost_ms("LCWS_WORKER_LOST_MS", "25");
+  bool repaired = false;
+  with_scheduler(kind, 4, [&](auto& sched) {
+    sched.reset_counters();
+    ASSERT_TRUE(sched.loss_detection_active());
+    for (int attempt = 0; attempt < 50 && !repaired; ++attempt) {
+      fi::configure(static_cast<std::uint64_t>(attempt) * 0x9e3779b9ULL + 1,
+                    /*rate_permille=*/1000,
+                    fi::site_bit(fi::site::worker_crash_midtask));
+      try {
+        const std::uint64_t got =
+            sched.run([&] { return burn_tree(sched, 9); });
+        // No top-level steal this run — nothing wedged, result exact.
+        EXPECT_EQ(got, 512u) << to_string(kind) << " attempt " << attempt;
+      } catch (const worker_lost_error& e) {
+        repaired = true;
+        EXPECT_GE(e.worker(), 1u) << to_string(kind);
+        EXPECT_LT(e.worker(), 4u) << to_string(kind);
+        EXPECT_FALSE(e.worker_dump().empty()) << to_string(kind);
+        EXPECT_GE(sched.lost_workers(), 1u) << to_string(kind);
+      }
+    }
+    EXPECT_TRUE(repaired)
+        << to_string(kind) << ": 50 runs without a repaired mid-task wedge";
+    // The books after a forced repair: the wedge's claim was counted a
+    // steal but never executed, and the pool still answers.
+    fi::disable();
+    EXPECT_EQ(sched.run([&] { return fib(sched, 15); }), 610u)
+        << to_string(kind);
+    const auto t = settled_totals(sched);
+    EXPECT_EQ(t.workers_lost.get(), sched.lost_workers()) << to_string(kind);
+    const std::uint64_t consumed_not_run =
+        t.pushes.get() - t.unexposures.get() - t.tasks_orphaned.get() -
+        t.tasks_executed.get();
+    EXPECT_LE(consumed_not_run, t.workers_lost.get()) << to_string(kind);
+  });
+}
+
+// Deterministic loss: debug_lose_worker halts a worker at its next
+// boundary; with detection armed the pool must notice within the window,
+// fence the corpse, adopt (or orphan) its deque, and keep answering runs.
+TEST_P(WorkerLoss, DebugLoseWorkerIsDetectedFencedAndSurvivable) {
+  const sched_kind kind = GetParam();
+  scoped_env lost_ms("LCWS_WORKER_LOST_MS", "10");
+  with_scheduler(kind, 4, [&](auto& sched) {
+    sched.reset_counters();
+    ASSERT_TRUE(sched.loss_detection_active());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    std::uint64_t checksum = 0;
+    sched.run([&] {
+      sched.debug_lose_worker(1);
+      // Keep the pool scheduling (joins and idle probes are where the
+      // detector lives) until the loss is booked or we give up.
+      while (sched.lost_workers() == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        checksum += fib(sched, 13);
+      }
+      return checksum;
+    });
+    EXPECT_GE(sched.lost_workers(), 1u) << to_string(kind);
+    EXPECT_TRUE(sched.is_lost(1)) << to_string(kind);
+    const auto t = settled_totals(sched);
+    EXPECT_GE(t.workers_lost.get(), 1u) << to_string(kind);
+    if (kind == sched_kind::private_deques) {
+      EXPECT_EQ(t.deques_adopted.get(), 0u) << to_string(kind);
+    } else {
+      EXPECT_EQ(t.deques_adopted.get(), t.workers_lost.get())
+          << to_string(kind);
+    }
+    // A boundary death strands nothing: the run above completed normally
+    // and the diminished pool keeps working.
+    EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u)
+        << to_string(kind);
+  });
+}
+
+// debug_lose_worker input hardening: worker 0 and out-of-range ids are
+// refused (worker 0 drives run() and must never die).
+TEST(WorkerLossHooks, DebugLoseWorkerRefusesWorkerZeroAndBogusIds) {
+  scoped_env lost_ms("LCWS_WORKER_LOST_MS", "10");
+  ws_scheduler sched(2);
+  sched.debug_lose_worker(0);
+  sched.debug_lose_worker(99);
+  EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u);
+  EXPECT_EQ(sched.lost_workers(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines
+// ---------------------------------------------------------------------------
+
+// run_for: a computation that would run forever is collapsed at the
+// deadline — every pardo from then on refuses the fork — and the error
+// surfaces at the run_for call. The pool is immediately reusable.
+TEST_P(WorkerLoss, RunForDeadlineCancelsRunawayAndPoolStaysUsable) {
+  const sched_kind kind = GetParam();
+  with_scheduler(kind, 4, [&](auto& sched) {
+    sched.reset_counters();
+    EXPECT_THROW(sched.run_for(std::chrono::milliseconds(50),
+                               [&] {
+                                 // Distinct per-branch locals: the right
+                                 // branch may run on a thief concurrently
+                                 // with the left on this thread.
+                                 for (;;) {
+                                   std::uint64_t l = 0, r = 0;
+                                   sched.pardo([&] { l = fib(sched, 12); },
+                                               [&] { r = fib(sched, 12); });
+                                   (void)(l + r);
+                                 }
+                               }),
+                 run_cancelled_error)
+        << to_string(kind);
+    EXPECT_TRUE(sched.run_cancel_requested()) << to_string(kind);
+    EXPECT_EQ(sched.profile().totals.runs_cancelled.get(), 1u)
+        << to_string(kind);
+    // The token rearms on the next run: same pool, clean completion.
+    EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u)
+        << to_string(kind);
+    EXPECT_FALSE(sched.run_cancel_requested()) << to_string(kind);
+  });
+}
+
+// LCWS_RUN_TIMEOUT_MS: every plain run() carries the deadline.
+TEST(WorkerLossCancel, EnvRunTimeoutAppliesToPlainRun) {
+  scoped_env timeout("LCWS_RUN_TIMEOUT_MS", "50");
+  ws_scheduler sched(4);
+  EXPECT_THROW(sched.run([&] {
+    for (;;) {
+      std::uint64_t l = 0, r = 0;
+      sched.pardo([&] { l = fib(sched, 12); }, [&] { r = fib(sched, 12); });
+      (void)(l + r);
+    }
+  }),
+               run_cancelled_error);
+  // A short run finishes before its deadline and is unaffected.
+  EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u);
+}
+
+// cancel_run edge semantics: exactly one cancelling edge per run; calls
+// between runs are no-ops; a pardo after the edge refuses the fork.
+TEST(WorkerLossCancel, CancelRunEdgeIsOncePerRun) {
+  ws_scheduler sched(4);
+  sched.reset_counters();
+  EXPECT_FALSE(sched.cancel_run());  // no active run
+  EXPECT_THROW(sched.run([&] {
+    EXPECT_FALSE(sched.run_cancel_requested());
+    EXPECT_TRUE(sched.cancel_run());    // the edge
+    EXPECT_FALSE(sched.cancel_run());   // idempotent within the run
+    sched.pardo([] {}, [] {});          // cancellation point -> throws
+    ADD_FAILURE() << "pardo after cancel_run must refuse the fork";
+  }),
+               run_cancelled_error);
+  EXPECT_FALSE(sched.cancel_run());  // run is over
+  EXPECT_EQ(sched.profile().totals.runs_cancelled.get(), 1u);
+  EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u);
+}
+
+// Watchdog escalation ladder, first rung (§11): a frozen progress token
+// cancels the run cooperatively instead of aborting. User code that polls
+// run_cancel_requested() gets to exit cleanly — the run *returns*.
+TEST(WorkerLossCancel, WatchdogFirstRungCancelsInsteadOfAborting) {
+  scoped_env dog("LCWS_WATCHDOG_MS", "200");
+  ws_scheduler sched(4);
+  sched.reset_counters();
+  const std::uint64_t r = sched.run([&]() -> std::uint64_t {
+    // Pure user-code spin: no scheduling, so the progress token freezes
+    // and the watchdog's first frozen window issues the cancel.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!sched.run_cancel_requested() &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::yield();
+    }
+    return 42;
+  });
+  EXPECT_EQ(r, 42u);
+  EXPECT_EQ(sched.profile().totals.runs_cancelled.get(), 1u);
+  // The cancel rung sufficed: had it escalated to the abort rung this
+  // whole process would be gone.
+  EXPECT_EQ(sched.run([&] { return fib(sched, 16); }), 987u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, WorkerLoss, ::testing::ValuesIn(all_sched_kinds),
+    [](const ::testing::TestParamInfo<sched_kind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace lcws
